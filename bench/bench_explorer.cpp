@@ -1,0 +1,106 @@
+// E16 — exhaustive interleaving exploration: schedule-space sizes, full
+// conformance sweeps over every interleaving (TL2 and NORec must be clean),
+// and the fault-finding power of the explorer on the injected TL2 bugs.
+#include <chrono>
+#include <cstdio>
+
+#include "stm/explorer.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace duo::stm;
+using Clock = std::chrono::steady_clock;
+
+ExplorerOptions make_options(int which) {
+  // 0 = TL2, 1 = NORec, 2 = TL2 no-read-validation, 3 = TL2 no-commit-val.
+  ExplorerOptions opts;
+  switch (which) {
+    case 0:
+      opts.make_stm = [](duo::history::ObjId n, Recorder* r) {
+        return std::make_unique<Tl2Stm>(n, r);
+      };
+      break;
+    case 1:
+      opts.make_stm = [](duo::history::ObjId n, Recorder* r) {
+        return std::make_unique<NorecStm>(n, r);
+      };
+      break;
+    case 2: {
+      Tl2Options t;
+      t.faulty_skip_read_validation = true;
+      opts.make_stm = [t](duo::history::ObjId n, Recorder* r) {
+        return std::make_unique<Tl2Stm>(n, r, t);
+      };
+      break;
+    }
+    default: {
+      Tl2Options t;
+      t.faulty_skip_commit_validation = true;
+      opts.make_stm = [t](duo::history::ObjId n, Recorder* r) {
+        return std::make_unique<Tl2Stm>(n, r, t);
+      };
+      break;
+    }
+  }
+  return opts;
+}
+
+const char* subject_name(int which) {
+  switch (which) {
+    case 0: return "TL2";
+    case 1: return "NORec";
+    case 2: return "TL2-no-read-val";
+    default: return "TL2-no-commit-val";
+  }
+}
+
+}  // namespace
+
+int main() {
+  struct Mix {
+    const char* name;
+    std::vector<Program> programs;
+  };
+  const Mix mixes[] = {
+      {"rmw-pair",
+       {{ProgramOp::read(0), ProgramOp::write(0, 10)},
+        {ProgramOp::read(0), ProgramOp::write(0, 20)}}},
+      {"writer-vs-reader",
+       {{ProgramOp::write(0, 5), ProgramOp::write(1, 6)},
+        {ProgramOp::read(0), ProgramOp::read(1)}}},
+      {"three-way",
+       {{ProgramOp::write(0, 1)},
+        {ProgramOp::read(0), ProgramOp::write(1, 2)},
+        {ProgramOp::read(1), ProgramOp::read(0)}}},
+  };
+
+  std::printf("=== Exhaustive interleaving sweeps (E16) ===\n\n");
+  duo::util::Table table({"mix", "STM", "schedules", "du-violations",
+                          "committed", "aborted", "ms"});
+  for (const Mix& mix : mixes) {
+    for (int which = 0; which < 4; ++which) {
+      const auto t0 = Clock::now();
+      const auto report =
+          explore_interleavings(mix.programs, make_options(which));
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      table.add_row({mix.name, subject_name(which),
+                     std::to_string(report.schedules),
+                     std::to_string(report.du_violations),
+                     std::to_string(report.committed),
+                     std::to_string(report.aborted),
+                     std::to_string(ms)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: zero violations for TL2 and NORec over the entire\n"
+      "schedule space; the faulty variants are caught on the mixes that\n"
+      "exercise the disabled validation (doomed reads for no-read-val,\n"
+      "lost updates for no-commit-val).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E1, E3-E6 — regenerates the verdict table for the paper's Figures 1-6.
+//
+// Output: one row per figure with the computed verdict under every
+// criterion, side by side with the paper's claim. The "match" column is the
+// reproduction result; EXPERIMENTS.md records the run.
+#include <cstdio>
+#include <string>
+
+#include "checker/verdict.hpp"
+#include "history/figures.hpp"
+#include "history/printer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using duo::checker::Verdict;
+using duo::checker::VerdictVector;
+using duo::history::History;
+namespace fig = duo::history::figures;
+
+struct PaperClaim {
+  // Expected verdicts; Verdict::kUnknown marks "not claimed by the paper".
+  Verdict final_state = Verdict::kUnknown;
+  Verdict opaque = Verdict::kUnknown;
+  Verdict du = Verdict::kUnknown;
+  Verdict rco = Verdict::kUnknown;
+  Verdict tms2 = Verdict::kUnknown;
+};
+
+bool matches(const PaperClaim& claim, const VerdictVector& got) {
+  auto ok = [](Verdict want, Verdict have) {
+    return want == Verdict::kUnknown || want == have;
+  };
+  return ok(claim.final_state, got.final_state) &&
+         ok(claim.opaque, got.opaque) && ok(claim.du, got.du_opaque) &&
+         ok(claim.rco, got.rco) && ok(claim.tms2, got.tms2);
+}
+
+std::string cell(Verdict v) { return duo::checker::to_string(v); }
+
+}  // namespace
+
+int main() {
+  constexpr auto kYes = Verdict::kYes;
+  constexpr auto kNo = Verdict::kNo;
+  struct Row {
+    const char* name;
+    History h;
+    PaperClaim claim;
+    const char* paper_says;
+  };
+  const Row rows[] = {
+      {"Fig.1", fig::fig1(), {kYes, kYes, kYes, Verdict::kUnknown, Verdict::kUnknown},
+       "du-opaque (serialization T2,T3,T1,T4)"},
+      {"Fig.2(n=8)", fig::fig2(8), {kYes, kYes, kYes, Verdict::kUnknown, Verdict::kUnknown},
+       "every finite prefix du-opaque (Prop. 1)"},
+      {"Fig.3", fig::fig3(), {kYes, kNo, kNo, Verdict::kUnknown, Verdict::kUnknown},
+       "final-state opaque; prefix is not (not prefix-closed)"},
+      {"Fig.3 prefix", fig::fig3_prefix(), {kNo, kNo, kNo, Verdict::kUnknown, Verdict::kUnknown},
+       "not final-state opaque"},
+      {"Fig.4", fig::fig4(), {kYes, kYes, kNo, Verdict::kUnknown, Verdict::kUnknown},
+       "opaque but not du-opaque (Prop. 2)"},
+      {"Fig.5", fig::fig5(), {kYes, kYes, kYes, kNo, Verdict::kUnknown},
+       "du-opaque but not opaque-by-[6] (read-commit order)"},
+      {"Fig.6", fig::fig6(), {kYes, kYes, kYes, Verdict::kUnknown, kNo},
+       "du-opaque but not TMS2"},
+  };
+
+  duo::util::Table table({"figure", "FSO", "opaque", "du", "rco", "tms2",
+                          "sser", "match"});
+  bool all_match = true;
+  for (const Row& row : rows) {
+    const VerdictVector v = duo::checker::evaluate_all(row.h);
+    const bool ok = matches(row.claim, v);
+    all_match = all_match && ok;
+    table.add_row({row.name, cell(v.final_state), cell(v.opaque),
+                   cell(v.du_opaque), cell(v.rco), cell(v.tms2),
+                   cell(v.strict_ser), ok ? "OK" : "MISMATCH"});
+  }
+
+  std::printf("=== Paper figure verdicts (paper claim vs checker) ===\n\n");
+  std::printf("%s\n", table.render().c_str());
+  for (const Row& row : rows)
+    std::printf("  %-14s paper: %s\n", row.name, row.paper_says);
+  std::printf("\nresult: %s\n",
+              all_match ? "ALL FIGURES REPRODUCED" : "MISMATCH DETECTED");
+
+  std::printf("\n=== Figure timelines ===\n");
+  for (const Row& row : rows) {
+    std::printf("\n%s:\n%s", row.name,
+                duo::history::timeline(row.h).c_str());
+  }
+  return all_match ? 0 : 1;
+}

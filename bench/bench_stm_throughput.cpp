@@ -1,0 +1,102 @@
+// E14 — STM substrate throughput: TL2 vs NORec vs TML vs pessimistic across
+// thread counts and contention levels. The *shape* to reproduce from the
+// broader literature the paper builds on: fine-grained TL2 scales on
+// low-contention read-mostly loads; NORec's single lock serializes commits;
+// TML and pessimistic collapse under writer contention; the pessimistic STM
+// never aborts (it pays in blocking instead).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "stm/norec.hpp"
+#include "stm/pessimistic.hpp"
+#include "stm/tl2.hpp"
+#include "stm/tml.hpp"
+#include "stm/workload.hpp"
+
+namespace {
+
+using namespace duo::stm;
+
+std::unique_ptr<Stm> make_stm(int which, ObjId objects) {
+  switch (which) {
+    case 0: return std::make_unique<Tl2Stm>(objects);
+    case 1: return std::make_unique<NorecStm>(objects);
+    case 2: return std::make_unique<TmlStm>(objects);
+    default: return std::make_unique<PessimisticStm>(objects);
+  }
+}
+
+const char* stm_name(int which) {
+  switch (which) {
+    case 0: return "TL2";
+    case 1: return "NORec";
+    case 2: return "TML";
+    default: return "pessimistic";
+  }
+}
+
+void run_mix(benchmark::State& state, double write_fraction,
+             ObjId objects) {
+  const int which = static_cast<int>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  std::uint64_t committed = 0, aborted = 0;
+  for (auto _ : state) {
+    auto stm = make_stm(which, objects);
+    WorkloadOptions opts;
+    opts.threads = threads;
+    opts.txns_per_thread = 2000 / threads;
+    opts.ops_per_txn = 4;
+    opts.write_fraction = write_fraction;
+    opts.zipf_theta = 0.6;
+    opts.seed = 42 + state.iterations();
+    const auto stats = run_random_mix(*stm, opts);
+    committed += stats.committed;
+    aborted += stats.aborted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.counters["aborts_per_commit"] =
+      committed ? static_cast<double>(aborted) / committed : 0.0;
+  state.SetLabel(stm_name(which));
+}
+
+void BM_ReadMostly(benchmark::State& state) {
+  run_mix(state, 0.1, 256);  // low contention, read-dominated
+}
+void BM_WriteHeavy(benchmark::State& state) {
+  run_mix(state, 0.9, 16);  // high contention, write-dominated
+}
+
+void BM_Counters(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    auto stm = make_stm(which, 8);
+    WorkloadOptions opts;
+    opts.threads = threads;
+    opts.txns_per_thread = 2000 / threads;
+    opts.seed = 7;
+    const auto stats = run_counters(*stm, opts);
+    committed += stats.committed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.SetLabel(stm_name(which));
+}
+
+void stm_thread_args(benchmark::internal::Benchmark* b) {
+  for (int stm = 0; stm < 4; ++stm)
+    for (const int threads : {1, 2, 4})
+      b->Args({stm, threads});
+  // Fixed iteration count keeps the full sweep bounded even on heavily
+  // oversubscribed machines (each iteration is a complete workload).
+  b->Iterations(3)->UseRealTime();
+}
+
+BENCHMARK(BM_ReadMostly)->Apply(stm_thread_args);
+BENCHMARK(BM_WriteHeavy)->Apply(stm_thread_args);
+BENCHMARK(BM_Counters)->Apply(stm_thread_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

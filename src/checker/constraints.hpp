@@ -1,0 +1,37 @@
+// Static precedence-edge constraints used by criteria that strengthen
+// final-state opacity with an order condition on specific transaction pairs:
+// the read-commit-order definition of Guerraoui, Henzinger, Singh [6] and
+// the TMS2 condition of Doherty, Groves, Luchangco, Moir [5] (both as
+// described in §4.2 of the paper).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace duo::checker {
+
+using Edges = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Read-commit-order edges ([6], §4.2): if a value-returning t-read of X by
+/// T_k responds before the tryC invocation of a transaction T_m that commits
+/// on X, then T_k must precede T_m in the serialization.
+///
+/// "Commits" is evaluated against the *serialization's completion*: a
+/// commit-pending writer that the completion commits is constrained exactly
+/// like one committed in H (otherwise RCO would not imply du-opacity in the
+/// presence of commit-pending transactions — a subtlety our random-corpus
+/// tests surfaced). The returned pairs (k, m) are therefore conditional:
+/// enforce k before m only when m is committed in S. For writers committed
+/// in H the condition is vacuous and the edge is effectively static.
+Edges rco_commit_edges(const history::History& h);
+
+/// TMS2 edges (§4.2): if T_a and T_b conflict on X with X ∈ Wset(T_a) ∩
+/// Rset(T_b), T_a successfully commits on X in H, and T_a's tryC response
+/// precedes T_b's tryC invocation, then T_a must precede T_b in the
+/// serialization. Rset is taken literally (paper §2: the objects the
+/// transaction reads), so reads of one's own writes count.
+Edges tms2_edges(const history::History& h);
+
+}  // namespace duo::checker

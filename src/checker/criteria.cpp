@@ -1,0 +1,28 @@
+#include "checker/criteria.hpp"
+
+#include "util/assert.hpp"
+
+namespace duo::checker {
+
+std::string to_string(Criterion c) {
+  switch (c) {
+    case Criterion::kFinalStateOpacity: return "final-state-opacity";
+    case Criterion::kOpacity: return "opacity";
+    case Criterion::kDuOpacity: return "du-opacity";
+    case Criterion::kRcoOpacity: return "rco-opacity";
+    case Criterion::kTms2: return "TMS2";
+    case Criterion::kStrictSerializability: return "strict-serializability";
+  }
+  DUO_UNREACHABLE("bad Criterion");
+}
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kYes: return "yes";
+    case Verdict::kNo: return "no";
+    case Verdict::kUnknown: return "unknown";
+  }
+  DUO_UNREACHABLE("bad Verdict");
+}
+
+}  // namespace duo::checker

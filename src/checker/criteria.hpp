@@ -1,0 +1,42 @@
+// Common result type for all correctness-criterion checkers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "checker/search.hpp"
+
+namespace duo::checker {
+
+enum class Criterion : std::uint8_t {
+  kFinalStateOpacity,   // Definition 4 [8]
+  kOpacity,             // Definition 5 [8]: every prefix final-state opaque
+  kDuOpacity,           // Definition 3 (this paper)
+  kRcoOpacity,          // read-commit-order opacity of [6] (§4.2)
+  kTms2,                // TMS2 of [5] (§4.2)
+  kStrictSerializability,  // committed projection only (baseline)
+};
+
+std::string to_string(Criterion c);
+
+/// Tri-state verdict: budget exhaustion is reported, never silently turned
+/// into a verdict.
+enum class Verdict : std::uint8_t { kYes, kNo, kUnknown };
+
+std::string to_string(Verdict v);
+
+struct CheckResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// Witness serialization (present when verdict == kYes and the criterion
+  /// is serialization-based on the full history).
+  std::optional<Serialization> witness;
+  /// Human-readable explanation of a kNo verdict when one is cheap to
+  /// produce (e.g. the du-opacity analysis of a final-state witness).
+  std::string explanation;
+  SearchStats stats;
+
+  bool yes() const noexcept { return verdict == Verdict::kYes; }
+  bool no() const noexcept { return verdict == Verdict::kNo; }
+};
+
+}  // namespace duo::checker

@@ -1,0 +1,24 @@
+// DU-opacity (Definition 3 of the paper): final-state opacity plus the
+// deferred-update condition — every t-read must be legal in its local
+// serialization S^{k,X}_H, which contains only transactions whose tryC was
+// invoked before the read's response.
+#pragma once
+
+#include "checker/criteria.hpp"
+
+namespace duo::checker {
+
+struct DuOpacityOptions {
+  std::uint64_t node_budget = 50'000'000;
+};
+
+CheckResult check_du_opacity(const History& h,
+                             const DuOpacityOptions& opts = {});
+
+/// Diagnose why a final-state serialization fails the deferred-update
+/// condition: returns the violations of Def. 3(3) for the given witness.
+/// Used to produce paper-style explanations (e.g. Figure 4's narrative).
+std::vector<std::string> deferred_update_violations(const History& h,
+                                                    const Serialization& s);
+
+}  // namespace duo::checker

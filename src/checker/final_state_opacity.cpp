@@ -1,0 +1,31 @@
+#include "checker/final_state_opacity.hpp"
+
+namespace duo::checker {
+
+CheckResult check_final_state_opacity(const History& h,
+                                      const FinalStateOptions& opts) {
+  SearchOptions so;
+  so.deferred_update = false;
+  so.node_budget = opts.node_budget;
+  SearchResult r = find_serialization(h, so);
+
+  CheckResult out;
+  out.stats = r.stats;
+  switch (r.outcome) {
+    case Outcome::kSerializable:
+      out.verdict = Verdict::kYes;
+      out.witness = std::move(r.witness);
+      break;
+    case Outcome::kNotSerializable:
+      out.verdict = Verdict::kNo;
+      out.explanation = "no legal real-time-respecting serialization exists";
+      break;
+    case Outcome::kBudgetExhausted:
+      out.verdict = Verdict::kUnknown;
+      out.explanation = "search budget exhausted";
+      break;
+  }
+  return out;
+}
+
+}  // namespace duo::checker

@@ -1,0 +1,18 @@
+// Final-state opacity (Definition 4, Guerraoui & Kapalka [8], restricted to
+// read-write TM semantics as in the paper's §4.1).
+#pragma once
+
+#include "checker/criteria.hpp"
+
+namespace duo::checker {
+
+struct FinalStateOptions {
+  std::uint64_t node_budget = 50'000'000;
+};
+
+/// Does `h` admit a legal t-complete t-sequential history equivalent to a
+/// completion of `h` that respects the real-time order of `h`?
+CheckResult check_final_state_opacity(const History& h,
+                                      const FinalStateOptions& opts = {});
+
+}  // namespace duo::checker

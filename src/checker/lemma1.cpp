@@ -1,0 +1,36 @@
+#include "checker/lemma1.hpp"
+
+namespace duo::checker {
+
+Serialization lemma1_prefix_serialization(const History& h,
+                                          const Serialization& s,
+                                          std::size_t prefix_len) {
+  DUO_EXPECTS(completion_shape_valid(h, s));
+  const History hp = h.prefix(prefix_len);
+  Serialization sp;
+  sp.committed = util::DynamicBitset(hp.num_txns());
+
+  for (const std::size_t tix : s.order) {
+    const TxnId id = h.txn(tix).id;
+    if (!hp.participates(id)) continue;
+    const std::size_t ptix = hp.tix_of(id);
+    sp.order.push_back(ptix);
+    const Transaction& pt = hp.txn(ptix);
+    switch (pt.status) {
+      case TxnStatus::kCommitted:
+        sp.committed.set(ptix);
+        break;
+      case TxnStatus::kAborted:
+      case TxnStatus::kRunning:
+        break;  // aborted in S^i
+      case TxnStatus::kCommitPending:
+        // Inherit the completion decision from S.
+        if (s.committed.test(tix)) sp.committed.set(ptix);
+        break;
+    }
+  }
+  DUO_ENSURES(sp.order.size() == hp.num_txns());
+  return sp;
+}
+
+}  // namespace duo::checker

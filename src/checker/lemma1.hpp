@@ -1,0 +1,28 @@
+// Mechanization of the paper's Lemma 1: given a du-opaque serialization S of
+// H, construct — by the exact recipe of the lemma's proof — a serialization
+// S^i of the prefix H^i whose transaction sequence is a subsequence of
+// seq(S). Property tests validate the construction on random histories,
+// which is a machine check of the proof's construction step (and the
+// engine Corollary 2 / prefix-closure rests on).
+#pragma once
+
+#include "checker/serialization.hpp"
+
+namespace duo::checker {
+
+/// Build S^i for the prefix of `h` of length `prefix_len`, from a
+/// serialization `s` of `h` itself. Returns the serialization in the tix
+/// space of `h.prefix(prefix_len)`.
+///
+/// Construction (Lemma 1):
+///   - transactions t-complete in H^i keep their status;
+///   - transactions complete but not t-complete in H^i are aborted;
+///   - transactions with an incomplete read/write/tryA in H^i are aborted;
+///   - transactions with an incomplete tryC in H^i inherit their commit
+///     decision from S;
+///   - the order is seq(S) restricted to txns(H^i).
+Serialization lemma1_prefix_serialization(const History& h,
+                                          const Serialization& s,
+                                          std::size_t prefix_len);
+
+}  // namespace duo::checker

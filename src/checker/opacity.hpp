@@ -1,0 +1,41 @@
+// Opacity (Definition 5, [8]): every finite prefix must be final-state
+// opaque. Two implementations:
+//
+//   - check_opacity_naive: final-state check on every event prefix;
+//   - check_opacity: exploits two theorems of the paper. DU-opacity is
+//     prefix-closed (Corollary 2) and implies opacity (Theorem 10), so the
+//     set of du-opaque prefixes is downward-closed: binary-search its
+//     maximum, then run per-prefix final-state checks only beyond it.
+//
+// The fast path is an *algorithmic consequence of the paper's results*; the
+// benchmark bench_checker_scaling measures its effect, and tests cross-check
+// both implementations on random histories.
+#pragma once
+
+#include "checker/criteria.hpp"
+
+namespace duo::checker {
+
+struct OpacityOptions {
+  std::uint64_t node_budget = 50'000'000;
+};
+
+struct OpacityResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// Event-prefix length of the shortest non-final-state-opaque prefix
+  /// (meaningful when verdict == kNo).
+  std::optional<std::size_t> first_bad_prefix;
+  /// Aggregate search nodes across all prefix checks.
+  std::uint64_t total_nodes = 0;
+  /// Number of final-state prefix searches actually executed.
+  std::size_t prefix_searches = 0;
+
+  bool yes() const noexcept { return verdict == Verdict::kYes; }
+  bool no() const noexcept { return verdict == Verdict::kNo; }
+};
+
+OpacityResult check_opacity(const History& h, const OpacityOptions& opts = {});
+OpacityResult check_opacity_naive(const History& h,
+                                  const OpacityOptions& opts = {});
+
+}  // namespace duo::checker

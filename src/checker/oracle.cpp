@@ -1,0 +1,68 @@
+#include "checker/oracle.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace duo::checker {
+
+namespace {
+
+/// Shared permutation×completion enumeration; calls `visit` on every valid
+/// serialization until it returns false.
+template <typename Visit>
+std::uint64_t for_each_serialization(const History& h,
+                                     const SerializationRules& rules,
+                                     Visit&& visit) {
+  const std::size_t n = h.num_txns();
+  DUO_EXPECTS(n <= 9);  // 9! * 2^pending is the practical ceiling
+  std::uint64_t tried = 0;
+
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  const auto& pending = h.commit_pending();
+  const std::size_t decisions = std::size_t{1} << pending.size();
+
+  do {
+    for (std::size_t mask = 0; mask < decisions; ++mask) {
+      Serialization s;
+      s.order = perm;
+      s.committed = util::DynamicBitset(n);
+      for (std::size_t tix = 0; tix < n; ++tix)
+        if (h.txn(tix).committed()) s.committed.set(tix);
+      for (std::size_t i = 0; i < pending.size(); ++i)
+        if (mask & (std::size_t{1} << i)) s.committed.set(pending[i]);
+      ++tried;
+      if (verify_serialization(h, s, rules).empty()) {
+        if (!visit(std::move(s))) return tried;
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return tried;
+}
+
+}  // namespace
+
+OracleResult brute_force_search(const History& h,
+                                const SerializationRules& rules) {
+  OracleResult result;
+  result.candidates_tried =
+      for_each_serialization(h, rules, [&](Serialization s) {
+        result.serializable = true;
+        result.witness = std::move(s);
+        return false;  // stop at the first witness
+      });
+  return result;
+}
+
+std::vector<Serialization> enumerate_serializations(
+    const History& h, const SerializationRules& rules, std::size_t cap) {
+  std::vector<Serialization> out;
+  for_each_serialization(h, rules, [&](Serialization s) {
+    out.push_back(std::move(s));
+    return out.size() < cap;
+  });
+  return out;
+}
+
+}  // namespace duo::checker

@@ -1,0 +1,29 @@
+// Brute-force serialization oracle: enumerates every permutation of the
+// transactions and every completion choice, validating each with
+// verify_serialization (the definition-level checker). Exponential — only
+// usable for small histories — but a fully independent implementation path
+// from the DFS engine, used by property tests to cross-check verdicts.
+#pragma once
+
+#include "checker/legality.hpp"
+
+namespace duo::checker {
+
+struct OracleResult {
+  bool serializable = false;
+  std::optional<Serialization> witness;
+  std::uint64_t candidates_tried = 0;
+};
+
+/// Rules are the same structure verify_serialization takes; real_time and
+/// global_legality are typically both true.
+OracleResult brute_force_search(const History& h,
+                                const SerializationRules& rules);
+
+/// Enumerate up to `cap` valid serializations (used by the Theorem 5 graph
+/// construction, which needs the set of vertices per level, not just
+/// existence).
+std::vector<Serialization> enumerate_serializations(
+    const History& h, const SerializationRules& rules, std::size_t cap);
+
+}  // namespace duo::checker

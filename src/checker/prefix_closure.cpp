@@ -1,0 +1,39 @@
+#include "checker/prefix_closure.hpp"
+
+#include "checker/du_opacity.hpp"
+#include "checker/final_state_opacity.hpp"
+
+namespace duo::checker {
+
+PrefixReport check_all_prefixes(const History& h, const CriterionFn& fn) {
+  PrefixReport report;
+  report.verdicts.reserve(h.size() + 1);
+  bool saw_no = false;
+  for (std::size_t n = 0; n <= h.size(); ++n) {
+    const Verdict v = fn(h.prefix(n));
+    report.verdicts.push_back(v);
+    if (v == Verdict::kNo && !report.first_no.has_value())
+      report.first_no = n;
+    if (v == Verdict::kNo) saw_no = true;
+    if (v == Verdict::kYes && saw_no) report.downward_closed = false;
+  }
+  return report;
+}
+
+CriterionFn final_state_opacity_fn(std::uint64_t node_budget) {
+  return [node_budget](const History& h) {
+    FinalStateOptions opts;
+    opts.node_budget = node_budget;
+    return check_final_state_opacity(h, opts).verdict;
+  };
+}
+
+CriterionFn du_opacity_fn(std::uint64_t node_budget) {
+  return [node_budget](const History& h) {
+    DuOpacityOptions opts;
+    opts.node_budget = node_budget;
+    return check_du_opacity(h, opts).verdict;
+  };
+}
+
+}  // namespace duo::checker

@@ -1,0 +1,18 @@
+// Read-commit-order opacity: the deferred-update-style definition of
+// Guerraoui, Henzinger, Singh [6] discussed in §4.2 — a final-state
+// serialization must additionally order T_k before T_m whenever a t-read of
+// X by T_k responds before the tryC invocation of T_m and T_m commits on X.
+// Strictly stronger than du-opacity (paper Figure 5 separates them).
+#pragma once
+
+#include "checker/criteria.hpp"
+
+namespace duo::checker {
+
+struct RcoOptions {
+  std::uint64_t node_budget = 50'000'000;
+};
+
+CheckResult check_rco_opacity(const History& h, const RcoOptions& opts = {});
+
+}  // namespace duo::checker

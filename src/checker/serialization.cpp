@@ -1,0 +1,85 @@
+#include "checker/serialization.hpp"
+
+#include <algorithm>
+
+#include "history/event.hpp"
+
+namespace duo::checker {
+
+using history::Event;
+using history::EventKind;
+using history::Op;
+using history::OpKind;
+
+std::vector<std::size_t> Serialization::positions() const {
+  std::vector<std::size_t> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  return pos;
+}
+
+History materialize(const History& h, const Serialization& s) {
+  DUO_EXPECTS(completion_shape_valid(h, s));
+  std::vector<Event> events;
+  for (const std::size_t tix : s.order) {
+    const Transaction& t = h.txn(tix);
+    const TxnId id = t.id;
+    // Copy the transaction's own events.
+    for (const Event& e : h.events())
+      if (e.txn == id) events.push_back(e);
+    // Extend to t-completion per Definition 2.
+    switch (t.status) {
+      case TxnStatus::kCommitted:
+      case TxnStatus::kAborted:
+        break;  // already t-complete
+      case TxnStatus::kCommitPending:
+        events.push_back(s.committed.test(tix)
+                             ? Event::resp_commit(id)
+                             : Event::resp_abort(id, OpKind::kTryCommit));
+        break;
+      case TxnStatus::kRunning: {
+        // If the last operation is incomplete, abort it; otherwise the
+        // transaction is complete-but-not-t-complete: append tryC . A.
+        const Op& last = t.ops.back();
+        if (!last.has_response) {
+          events.push_back(Event::resp_abort(id, last.kind, last.obj));
+        } else {
+          events.push_back(Event::inv_tryc(id));
+          events.push_back(Event::resp_abort(id, OpKind::kTryCommit));
+        }
+        break;
+      }
+    }
+  }
+  std::vector<Value> initials(static_cast<std::size_t>(h.num_objects()));
+  for (ObjId x = 0; x < h.num_objects(); ++x)
+    initials[static_cast<std::size_t>(x)] = h.initial_value(x);
+  auto r = History::make(std::move(events), h.num_objects(), std::move(initials));
+  DUO_ASSERT(r.has_value());
+  return std::move(r).take();
+}
+
+bool completion_shape_valid(const History& h, const Serialization& s) {
+  const std::size_t n = h.num_txns();
+  if (s.order.size() != n || s.committed.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const std::size_t tix : s.order) {
+    if (tix >= n || seen[tix]) return false;
+    seen[tix] = true;
+  }
+  for (std::size_t tix = 0; tix < n; ++tix) {
+    switch (h.txn(tix).status) {
+      case TxnStatus::kCommitted:
+        if (!s.committed.test(tix)) return false;
+        break;
+      case TxnStatus::kAborted:
+      case TxnStatus::kRunning:
+        if (s.committed.test(tix)) return false;
+        break;
+      case TxnStatus::kCommitPending:
+        break;  // free choice
+    }
+  }
+  return true;
+}
+
+}  // namespace duo::checker

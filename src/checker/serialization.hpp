@@ -1,0 +1,46 @@
+// Serializations: candidate total orders over the transactions of a history
+// together with a choice of completion (Definition 2 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+#include "util/bitset.hpp"
+
+namespace duo::checker {
+
+using history::History;
+using history::ObjId;
+using history::Transaction;
+using history::TxnId;
+using history::TxnStatus;
+using history::Value;
+
+/// A proposed serialization of a history H:
+///   - `order` is a permutation of the dense transaction indices of H,
+///     giving seq(S);
+///   - `committed` marks the transactions that commit in the chosen
+///     completion of H. Transactions committed in H are always marked;
+///     commit-pending ones (tryC invoked, unanswered) may be marked either
+///     way — that is the only freedom Definition 2 allows; all others are
+///     aborted.
+struct Serialization {
+  std::vector<std::size_t> order;
+  util::DynamicBitset committed;
+
+  /// Position of each transaction in `order` (inverse permutation).
+  std::vector<std::size_t> positions() const;
+};
+
+/// Build the t-complete t-sequential history S corresponding to a
+/// serialization: transactions laid out back-to-back in `order`, each
+/// extended to t-completion exactly as Definition 2 prescribes.
+History materialize(const History& h, const Serialization& s);
+
+/// Transactions whose committed flag is forced (committed in H) or
+/// forbidden (aborted / running in H). Returns false if `s.committed`
+/// violates those constraints or `order` is not a permutation.
+bool completion_shape_valid(const History& h, const Serialization& s);
+
+}  // namespace duo::checker

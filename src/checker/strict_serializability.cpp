@@ -1,0 +1,31 @@
+#include "checker/strict_serializability.hpp"
+
+#include "checker/final_state_opacity.hpp"
+#include "history/event.hpp"
+
+namespace duo::checker {
+
+History committed_projection(const History& h) {
+  std::vector<history::Event> events;
+  for (const history::Event& e : h.events()) {
+    if (!h.participates(e.txn)) continue;
+    const Transaction& t = h.txn(h.tix_of(e.txn));
+    if (t.committed() || t.commit_pending()) events.push_back(e);
+  }
+  std::vector<Value> initials(static_cast<std::size_t>(h.num_objects()));
+  for (ObjId x = 0; x < h.num_objects(); ++x)
+    initials[static_cast<std::size_t>(x)] = h.initial_value(x);
+  auto r = History::make(std::move(events), h.num_objects(),
+                         std::move(initials));
+  DUO_ASSERT(r.has_value());
+  return std::move(r).take();
+}
+
+CheckResult check_strict_serializability(const History& h,
+                                         const StrictSerOptions& opts) {
+  FinalStateOptions fso;
+  fso.node_budget = opts.node_budget;
+  return check_final_state_opacity(committed_projection(h), fso);
+}
+
+}  // namespace duo::checker

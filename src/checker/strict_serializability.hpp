@@ -1,0 +1,25 @@
+// Strict serializability of the committed projection: the database-style
+// baseline the paper contrasts TM criteria against (§1). Aborted and
+// incomplete transactions are discarded; committed transactions — plus
+// commit-pending ones, whose tryC may have taken effect and whose writes
+// other committed transactions may legitimately have read — must admit a
+// legal order respecting their real-time order. Retaining commit-pending
+// transactions is what makes final-state opacity imply this baseline.
+#pragma once
+
+#include "checker/criteria.hpp"
+
+namespace duo::checker {
+
+struct StrictSerOptions {
+  std::uint64_t node_budget = 50'000'000;
+};
+
+CheckResult check_strict_serializability(const History& h,
+                                         const StrictSerOptions& opts = {});
+
+/// The committed projection itself (exposed for tests): events of committed
+/// and commit-pending transactions only.
+History committed_projection(const History& h);
+
+}  // namespace duo::checker

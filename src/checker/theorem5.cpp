@@ -1,0 +1,107 @@
+#include "checker/theorem5.hpp"
+
+#include "checker/legality.hpp"
+#include "checker/oracle.hpp"
+
+namespace duo::checker {
+
+std::vector<TxnId> cseq(const History& h, std::size_t prefix_len,
+                        const History& prefix, const Serialization& s) {
+  std::vector<TxnId> out;
+  for (const std::size_t ptix : s.order) {
+    const TxnId id = prefix.txn(ptix).id;
+    // "Complete in H^i with respect to H": the transaction's last event of
+    // the *full* history lies within the prefix.
+    const Transaction& full = h.txn(h.tix_of(id));
+    if (full.last_event < prefix_len) out.push_back(id);
+  }
+  return out;
+}
+
+Theorem5Report run_theorem5_construction(const History& h,
+                                         const Theorem5Options& opts) {
+  Theorem5Report report;
+  report.applicable = h.all_complete();
+  if (!report.applicable) return report;
+
+  SerializationRules du_rules;
+  du_rules.deferred_update = true;
+
+  // Level n holds every du serialization of h.prefix(n) (capped), plus its
+  // cseq_n fingerprint.
+  struct Vertex {
+    Serialization s;
+    std::vector<TxnId> fingerprint;  // cseq_n(S_n)
+  };
+  const std::size_t levels = h.size() + 1;
+  report.levels = levels;
+
+  std::vector<History> prefixes;
+  prefixes.reserve(levels);
+  for (std::size_t n = 0; n < levels; ++n) prefixes.push_back(h.prefix(n));
+
+  std::vector<std::vector<Vertex>> graph(levels);
+  for (std::size_t n = 0; n < levels; ++n) {
+    auto all = enumerate_serializations(prefixes[n], du_rules,
+                                        opts.max_serializations_per_level);
+    graph[n].reserve(all.size());
+    for (auto& s : all) {
+      Vertex v;
+      v.fingerprint = cseq(h, n, prefixes[n], s);
+      v.s = std::move(s);
+      graph[n].push_back(std::move(v));
+      ++report.vertices;
+    }
+    if (graph[n].empty()) return report;  // some prefix not du-opaque
+  }
+
+  // Path search: the paper's edge (H^i, S^i) -> (H^{i+1}, S^{i+1}) requires
+  // cseq_i(S^i) == cseq_i(S^{i+1}); the latter is the restriction of the
+  // level-(i+1) vertex's sequence to transactions complete in H^i w.r.t. H.
+  // DFS over vertex indices per level.
+  std::vector<std::size_t> path(levels, 0);
+  std::vector<std::size_t> choice(levels, 0);
+  std::size_t level = 0;
+  while (true) {
+    if (level == levels) break;  // complete path found
+    bool advanced = false;
+    for (std::size_t& i = choice[level]; i < graph[level].size(); ++i) {
+      if (level > 0) {
+        const Vertex& prev = graph[level - 1][path[level - 1]];
+        // cseq_{level-1} of this level's candidate:
+        const std::vector<TxnId> restricted =
+            cseq(h, level - 1, prefixes[level], graph[level][i].s);
+        if (restricted != prev.fingerprint) continue;
+      }
+      path[level] = i;
+      ++i;  // resume after this vertex on backtrack
+      ++level;
+      if (level < levels) choice[level] = 0;
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+    if (level == 0) return report;  // no path
+    --level;  // backtrack
+  }
+
+  report.path_found = true;
+
+  // The limit serialization is the top level's vertex, lifted to H's tix
+  // space (its prefix IS H).
+  const Serialization& top = graph[levels - 1][path[levels - 1]].s;
+  Serialization limit;
+  limit.committed = util::DynamicBitset(h.num_txns());
+  for (const std::size_t ptix : top.order) {
+    const TxnId id = prefixes[levels - 1].txn(ptix).id;
+    const std::size_t tix = h.tix_of(id);
+    limit.order.push_back(tix);
+    if (top.committed.test(ptix)) limit.committed.set(tix);
+  }
+  report.limit_serialization_valid =
+      verify_serialization(h, limit, du_rules).empty();
+  report.limit = std::move(limit);
+  return report;
+}
+
+}  // namespace duo::checker

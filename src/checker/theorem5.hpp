@@ -1,0 +1,56 @@
+// Mechanization of Theorem 5's proof construction (limit closure under the
+// every-transaction-completes restriction).
+//
+// The paper's proof builds, for an infinite history H, a graph G_H whose
+// vertices are (prefix, serialization) pairs, connects consecutive levels
+// when the serializations agree on the transactions already complete (the
+// cseq condition), applies König's Path Lemma to extract an infinite path,
+// and reads the limit serialization off the path via the function f.
+//
+// For a *finite* complete history this whole construction can be executed
+// outright: build the level graph over actual serializations of every
+// prefix, find a root-to-top path (the finite analogue of König's infinite
+// path), and check that the final level's serialization — which the path's
+// cseq-stability forced level by level — is a du-opaque serialization of H.
+// Property tests run this on random complete du-opaque histories: each
+// success is a machine-checked instance of the theorem's argument.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "checker/serialization.hpp"
+
+namespace duo::checker {
+
+struct Theorem5Options {
+  /// Cap on serializations enumerated per prefix level (the proof only
+  /// needs existence; enumeration is for the graph construction).
+  std::size_t max_serializations_per_level = 256;
+  std::uint64_t node_budget = 10'000'000;
+};
+
+struct Theorem5Report {
+  bool applicable = false;     // premise: H complete
+  bool path_found = false;     // a cseq-consistent path through all levels
+  bool limit_serialization_valid = false;  // final serialization verifies
+  std::size_t levels = 0;
+  std::size_t vertices = 0;
+  /// The limit serialization read off the path (tix space of H).
+  std::optional<Serialization> limit;
+};
+
+/// Execute the construction on a finite complete history. The levels are
+/// the event prefixes 0..|H|. Returns applicable == false when some
+/// transaction of H is not complete (the theorem's premise fails — e.g.
+/// the paper's Figure 2 family).
+Theorem5Report run_theorem5_construction(const History& h,
+                                         const Theorem5Options& opts = {});
+
+/// cseq of the paper: the subsequence of a serialization's transaction ids
+/// restricted to transactions that are complete in the prefix of length n
+/// with respect to H (their last H-event lies inside the prefix).
+std::vector<TxnId> cseq(const History& h, std::size_t prefix_len,
+                        const History& prefix, const Serialization& s);
+
+}  // namespace duo::checker

@@ -1,0 +1,34 @@
+#include "checker/tms2.hpp"
+
+#include "checker/constraints.hpp"
+
+namespace duo::checker {
+
+CheckResult check_tms2(const History& h, const Tms2Options& opts) {
+  SearchOptions so;
+  so.deferred_update = false;
+  so.extra_edges = tms2_edges(h);
+  so.node_budget = opts.node_budget;
+  SearchResult r = find_serialization(h, so);
+
+  CheckResult out;
+  out.stats = r.stats;
+  switch (r.outcome) {
+    case Outcome::kSerializable:
+      out.verdict = Verdict::kYes;
+      out.witness = std::move(r.witness);
+      break;
+    case Outcome::kNotSerializable:
+      out.verdict = Verdict::kNo;
+      out.explanation =
+          "no final-state serialization respects the TMS2 conflict order";
+      break;
+    case Outcome::kBudgetExhausted:
+      out.verdict = Verdict::kUnknown;
+      out.explanation = "search budget exhausted";
+      break;
+  }
+  return out;
+}
+
+}  // namespace duo::checker

@@ -1,0 +1,18 @@
+// TMS2 ([5, 15], as summarized in the paper's §4.2): a final-state
+// serialization must order T_a before T_b whenever they conflict on an
+// object X with X ∈ Wset(T_a) ∩ Rset(T_b), T_a successfully commits on X,
+// and T_a's tryC response precedes T_b's tryC invocation. The paper
+// conjectures TMS2 ⊆ du-opacity and separates them with Figure 6.
+#pragma once
+
+#include "checker/criteria.hpp"
+
+namespace duo::checker {
+
+struct Tms2Options {
+  std::uint64_t node_budget = 50'000'000;
+};
+
+CheckResult check_tms2(const History& h, const Tms2Options& opts = {});
+
+}  // namespace duo::checker

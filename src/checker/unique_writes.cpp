@@ -1,0 +1,28 @@
+#include "checker/unique_writes.hpp"
+
+#include "checker/du_opacity.hpp"
+
+namespace duo::checker {
+
+UniqueWritesReport check_opacity_via_unique_writes(const History& h,
+                                                   std::uint64_t node_budget) {
+  UniqueWritesReport report;
+  report.unique_writes = h.has_unique_writes();
+  if (report.unique_writes) {
+    DuOpacityOptions opts;
+    opts.node_budget = node_budget;
+    const CheckResult r = check_du_opacity(h, opts);
+    report.opacity = r.verdict;
+    report.used_equivalence = true;
+    report.total_nodes = r.stats.nodes;
+    return report;
+  }
+  OpacityOptions opts;
+  opts.node_budget = node_budget;
+  const OpacityResult r = check_opacity(h, opts);
+  report.opacity = r.verdict;
+  report.total_nodes = r.total_nodes;
+  return report;
+}
+
+}  // namespace duo::checker

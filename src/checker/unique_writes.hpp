@@ -1,0 +1,26 @@
+// Theorem 11 routing: under the unique-writes condition, opacity and
+// du-opacity coincide (Opacity_ut = DU-Opacity), so the cheaper du check can
+// answer opacity queries and vice versa. check_opacity_via_unique_writes
+// exploits this; tests validate the equivalence on random unique-write
+// histories, and bench_unique_writes measures the saving.
+#pragma once
+
+#include "checker/criteria.hpp"
+#include "checker/opacity.hpp"
+
+namespace duo::checker {
+
+struct UniqueWritesReport {
+  bool unique_writes = false;
+  /// Verdict for opacity, computed through du-opacity when unique_writes
+  /// holds (single search) and through the per-prefix definition otherwise.
+  Verdict opacity = Verdict::kUnknown;
+  /// True when the fast path was taken.
+  bool used_equivalence = false;
+  std::uint64_t total_nodes = 0;
+};
+
+UniqueWritesReport check_opacity_via_unique_writes(
+    const History& h, std::uint64_t node_budget = 50'000'000);
+
+}  // namespace duo::checker

@@ -1,0 +1,68 @@
+#include "checker/verdict.hpp"
+
+#include <sstream>
+
+#include "checker/du_opacity.hpp"
+#include "checker/final_state_opacity.hpp"
+#include "checker/opacity.hpp"
+#include "checker/rco_opacity.hpp"
+#include "checker/strict_serializability.hpp"
+#include "checker/tms2.hpp"
+
+namespace duo::checker {
+
+std::string VerdictVector::to_string() const {
+  std::ostringstream out;
+  out << "FSO=" << checker::to_string(final_state)
+      << " opaque=" << checker::to_string(opaque)
+      << " du=" << checker::to_string(du_opaque)
+      << " rco=" << checker::to_string(rco)
+      << " tms2=" << checker::to_string(tms2)
+      << " sser=" << checker::to_string(strict_ser);
+  return out.str();
+}
+
+VerdictVector evaluate_all(const History& h, std::uint64_t node_budget) {
+  VerdictVector v;
+  v.final_state =
+      check_final_state_opacity(h, FinalStateOptions{node_budget}).verdict;
+  v.opaque = check_opacity(h, OpacityOptions{node_budget}).verdict;
+  v.du_opaque = check_du_opacity(h, DuOpacityOptions{node_budget}).verdict;
+  v.rco = check_rco_opacity(h, RcoOptions{node_budget}).verdict;
+  v.tms2 = check_tms2(h, Tms2Options{node_budget}).verdict;
+  v.strict_ser =
+      check_strict_serializability(h, StrictSerOptions{node_budget}).verdict;
+  return v;
+}
+
+namespace {
+
+bool implies_violated(Verdict a, Verdict b) {
+  // a ⇒ b violated only when a is definitely yes and b definitely no.
+  return a == Verdict::kYes && b == Verdict::kNo;
+}
+
+}  // namespace
+
+std::string containment_violations(const VerdictVector& v) {
+  struct Rule {
+    Verdict from, to;
+    const char* name;
+  };
+  // Note: the paper's conjecture TMS2 ⊆ DU-Opacity concerns the full TMS2
+  // automaton; our check implements only the one-clause conflict-order
+  // condition quoted in §4.2, which is weaker (e.g. it does not constrain
+  // transactions that never invoke tryC), so no tms2 ⇒ du rule appears here.
+  const Rule rules[] = {
+      {v.du_opaque, v.opaque, "du-opaque but not opaque (Thm. 10)"},
+      {v.opaque, v.final_state, "opaque but not final-state opaque (Def. 5)"},
+      {v.rco, v.du_opaque, "rco-opaque but not du-opaque (§4.2)"},
+      {v.final_state, v.strict_ser,
+       "final-state opaque but committed projection not serializable"},
+  };
+  for (const Rule& r : rules)
+    if (implies_violated(r.from, r.to)) return r.name;
+  return "";
+}
+
+}  // namespace duo::checker

@@ -1,0 +1,36 @@
+// Verdict vectors: evaluate a history under every criterion the paper
+// compares. Powers the figure benchmark, examples, and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/criteria.hpp"
+
+namespace duo::checker {
+
+struct VerdictVector {
+  Verdict final_state = Verdict::kUnknown;
+  Verdict opaque = Verdict::kUnknown;
+  Verdict du_opaque = Verdict::kUnknown;
+  Verdict rco = Verdict::kUnknown;
+  Verdict tms2 = Verdict::kUnknown;
+  Verdict strict_ser = Verdict::kUnknown;
+
+  /// "FSO=yes opaque=yes du=no rco=no tms2=no sser=yes"
+  std::string to_string() const;
+};
+
+VerdictVector evaluate_all(const History& h,
+                           std::uint64_t node_budget = 50'000'000);
+
+/// The containment structure the paper proves/conjectures, as a checkable
+/// predicate on a verdict vector (ignores kUnknown entries):
+///   du ⇒ opaque ⇒ final-state (Thm. 10, Def. 5);
+///   rco ⇒ du (§4.2, [6] stronger than du);
+///   tms2 ⇒ du (§4.2 conjecture);
+///   final-state ⇒ strict serializability of the committed projection.
+/// Returns an explanation of the first violated implication, or empty.
+std::string containment_violations(const VerdictVector& v);
+
+}  // namespace duo::checker

@@ -1,0 +1,351 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "history/event.hpp"
+#include "util/zipf.hpp"
+
+namespace duo::gen {
+
+using history::Event;
+using history::OpKind;
+
+namespace {
+
+/// One planned operation of a transaction program.
+struct PlannedOp {
+  bool is_write;
+  ObjId obj;
+  Value value;  // write argument
+};
+
+struct Program {
+  TxnId id;
+  std::vector<PlannedOp> ops;
+  enum class Ending : std::uint8_t {
+    kCommit,         // tryC -> C or A depending on validation / randomness
+    kCommitPending,  // tryC invoked, unanswered
+    kRunning,        // no tryC at all
+    kDropLast,       // last op's response omitted
+  } ending;
+};
+
+std::vector<Program> make_programs(const GenOptions& opts,
+                                   util::Xoshiro256& rng) {
+  DUO_EXPECTS(opts.num_txns >= 1);
+  DUO_EXPECTS(opts.num_objects >= 1);
+  DUO_EXPECTS(opts.min_ops >= 1 && opts.max_ops >= opts.min_ops);
+  util::Zipf zipf(static_cast<std::size_t>(opts.num_objects),
+                  opts.value_skew);
+  Value next_unique = 1;
+  std::vector<Program> programs;
+  programs.reserve(static_cast<std::size_t>(opts.num_txns));
+  for (int t = 1; t <= opts.num_txns; ++t) {
+    Program p;
+    p.id = t;
+    const int nops =
+        static_cast<int>(rng.range(opts.min_ops, opts.max_ops));
+    std::vector<bool> read_used(static_cast<std::size_t>(opts.num_objects),
+                                false);
+    for (int i = 0; i < nops; ++i) {
+      PlannedOp op;
+      op.is_write = rng.chance(opts.write_prob);
+      op.obj = static_cast<ObjId>(zipf(rng));
+      if (op.is_write) {
+        op.value = opts.unique_writes
+                       ? next_unique++
+                       : static_cast<Value>(rng.range(1, opts.value_range));
+      } else {
+        // Honor the model's read-once assumption.
+        if (read_used[static_cast<std::size_t>(op.obj)]) {
+          op.is_write = true;
+          op.value = opts.unique_writes
+                         ? next_unique++
+                         : static_cast<Value>(rng.range(1, opts.value_range));
+        } else {
+          read_used[static_cast<std::size_t>(op.obj)] = true;
+          op.value = 0;
+        }
+      }
+      p.ops.push_back(op);
+    }
+    const double roll = rng.unit();
+    if (roll < opts.leave_running_prob)
+      p.ending = Program::Ending::kRunning;
+    else if (roll < opts.leave_running_prob + opts.commit_pending_prob)
+      p.ending = Program::Ending::kCommitPending;
+    else if (roll < opts.leave_running_prob + opts.commit_pending_prob +
+                        opts.drop_last_response_prob)
+      p.ending = Program::Ending::kDropLast;
+    else
+      p.ending = Program::Ending::kCommit;
+    programs.push_back(std::move(p));
+  }
+  return programs;
+}
+
+/// Common scheduling core. `read_value` decides what a read returns given
+/// (txn state, object); `on_commit` decides the tryC response and applies
+/// effects. Both generators share the interleaving machinery.
+class Scheduler {
+ public:
+  Scheduler(const GenOptions& opts, util::Xoshiro256& rng)
+      : opts_(opts), rng_(rng) {}
+
+  struct TxnState {
+    Program program;
+    std::size_t pc = 0;  // index into program.ops
+    bool inv_emitted = false;
+    bool finished = false;
+    std::map<ObjId, Value> reads;   // external read set (validation)
+    std::map<ObjId, Value> writes;  // redo log
+  };
+
+  /// Runs all programs to completion under a random interleaving, calling
+  /// the callbacks to decide values. Returns the event sequence.
+  template <typename ReadFn, typename CommitFn>
+  std::vector<Event> run(std::vector<Program> programs, ReadFn&& read_value,
+                         CommitFn&& on_commit) {
+    std::vector<TxnState> txns;
+    txns.reserve(programs.size());
+    for (auto& p : programs) {
+      TxnState ts;
+      ts.program = std::move(p);
+      txns.push_back(std::move(ts));
+    }
+
+    std::vector<Event> events;
+    std::vector<std::size_t> active(txns.size());
+    for (std::size_t i = 0; i < txns.size(); ++i) active[i] = i;
+
+    while (!active.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng_.below(active.size()));
+      const std::size_t ti = active[pick];
+      TxnState& ts = txns[ti];
+      step(ts, events, read_value, on_commit);
+      if (ts.finished) {
+        active[pick] = active.back();
+        active.pop_back();
+      }
+    }
+    return events;
+  }
+
+ private:
+  template <typename ReadFn, typename CommitFn>
+  void step(TxnState& ts, std::vector<Event>& events, ReadFn&& read_value,
+            CommitFn&& on_commit) {
+    const TxnId id = ts.program.id;
+    const bool at_end = ts.pc >= ts.program.ops.size();
+
+    if (!at_end) {
+      const PlannedOp& op = ts.program.ops[ts.pc];
+      const bool last_op = ts.pc + 1 == ts.program.ops.size();
+      const bool drop_resp =
+          last_op && ts.program.ending == Program::Ending::kDropLast;
+      if (!ts.inv_emitted) {
+        events.push_back(op.is_write ? Event::inv_write(id, op.obj, op.value)
+                                     : Event::inv_read(id, op.obj));
+        ts.inv_emitted = true;
+        if (drop_resp) {
+          ts.finished = true;
+          return;
+        }
+        // With probability split_op_prob leave the response for a later
+        // scheduling step so other transactions can interleave.
+        if (rng_.chance(opts_.split_op_prob)) return;
+      }
+      // Emit the response.
+      ts.inv_emitted = false;
+      ++ts.pc;
+      if (op.is_write) {
+        ts.writes[op.obj] = op.value;
+        events.push_back(Event::resp_write_ok(id, op.obj));
+      } else {
+        const std::optional<Value> v = read_value(ts, op.obj);
+        if (v.has_value()) {
+          events.push_back(Event::resp_read(id, op.obj, *v));
+        } else {
+          events.push_back(Event::resp_abort(id, OpKind::kRead, op.obj));
+          ts.finished = true;  // transaction aborted
+        }
+      }
+      return;
+    }
+
+    // Program body done: ending phase.
+    switch (ts.program.ending) {
+      case Program::Ending::kRunning:
+      case Program::Ending::kDropLast:
+        ts.finished = true;
+        return;
+      case Program::Ending::kCommitPending:
+        events.push_back(Event::inv_tryc(id));
+        ts.finished = true;
+        return;
+      case Program::Ending::kCommit: {
+        if (!ts.inv_emitted) {
+          events.push_back(Event::inv_tryc(id));
+          ts.inv_emitted = true;
+          if (rng_.chance(opts_.split_op_prob)) return;
+        }
+        const bool committed = on_commit(ts);
+        events.push_back(committed
+                             ? Event::resp_commit(id)
+                             : Event::resp_abort(id, OpKind::kTryCommit));
+        ts.finished = true;
+        return;
+      }
+    }
+  }
+
+  const GenOptions& opts_;
+  util::Xoshiro256& rng_;
+};
+
+}  // namespace
+
+History random_du_history(const GenOptions& opts, util::Xoshiro256& rng) {
+  Scheduler sched(opts, rng);
+  std::vector<Value> committed(static_cast<std::size_t>(opts.num_objects), 0);
+
+  auto validate = [&](const Scheduler::TxnState& ts) {
+    for (const auto& [obj, v] : ts.reads)
+      if (committed[static_cast<std::size_t>(obj)] != v) return false;
+    return true;
+  };
+
+  // Deferred-update read: own write first; otherwise the current committed
+  // value, with full read-set revalidation (NORec-style) so that even
+  // transactions that later abort only ever observe consistent snapshots.
+  auto read_value = [&](Scheduler::TxnState& ts,
+                        ObjId obj) -> std::optional<Value> {
+    if (auto it = ts.writes.find(obj); it != ts.writes.end())
+      return it->second;
+    if (!validate(ts)) return std::nullopt;  // read aborts (A_k)
+    const Value v = committed[static_cast<std::size_t>(obj)];
+    ts.reads[obj] = v;
+    return v;
+  };
+
+  auto on_commit = [&](Scheduler::TxnState& ts) {
+    // Random refusal models contention aborts beyond validation failures.
+    if (rng.chance(opts.tryc_abort_prob)) return false;
+    if (!validate(ts)) return false;
+    for (const auto& [obj, v] : ts.writes)
+      committed[static_cast<std::size_t>(obj)] = v;
+    return true;
+  };
+
+  auto events = sched.run(make_programs(opts, rng), read_value, on_commit);
+  return std::move(History::make(std::move(events), opts.num_objects))
+      .value_or_die();
+}
+
+History random_history(const GenOptions& opts, util::Xoshiro256& rng) {
+  // Value pools: anything some transaction writes to the object, plus the
+  // initial value — plausible reads without consistency guarantees.
+  auto programs = make_programs(opts, rng);
+  std::vector<std::vector<Value>> pools(
+      static_cast<std::size_t>(opts.num_objects), std::vector<Value>{0});
+  for (const Program& p : programs)
+    for (const PlannedOp& op : p.ops)
+      if (op.is_write)
+        pools[static_cast<std::size_t>(op.obj)].push_back(op.value);
+
+  Scheduler sched(opts, rng);
+  auto read_value = [&](Scheduler::TxnState& ts,
+                        ObjId obj) -> std::optional<Value> {
+    if (auto it = ts.writes.find(obj); it != ts.writes.end())
+      return it->second;
+    auto& pool = pools[static_cast<std::size_t>(obj)];
+    const Value v = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    ts.reads[obj] = v;
+    return v;
+  };
+  auto on_commit = [&](Scheduler::TxnState&) {
+    return !rng.chance(opts.tryc_abort_prob);
+  };
+
+  auto events = sched.run(std::move(programs), read_value, on_commit);
+  return std::move(History::make(std::move(events), opts.num_objects))
+      .value_or_die();
+}
+
+History mutate(const History& h, util::Xoshiro256& rng) {
+  if (h.size() < 2) return h;
+  std::vector<Event> events = h.events();
+
+  const auto kind = static_cast<Mutation>(rng.below(4));
+  switch (kind) {
+    case Mutation::kFlipReadValue: {
+      std::vector<std::size_t> sites;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event& e = events[i];
+        if (e.is_response() && e.op == OpKind::kRead && !e.aborted)
+          sites.push_back(i);
+      }
+      if (sites.empty()) break;
+      Event& e = events[util::pick(sites, rng)];
+      e.value += static_cast<Value>(rng.range(1, 3));
+      break;
+    }
+    case Mutation::kDelayTryC: {
+      std::vector<std::size_t> sites;
+      for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+        const Event& e = events[i];
+        if (e.is_invocation() && e.op == OpKind::kTryCommit) {
+          // Movable iff the next event is not this transaction's response.
+          const Event& next = events[i + 1];
+          if (!(next.txn == e.txn)) sites.push_back(i);
+        }
+      }
+      if (sites.empty()) break;
+      const std::size_t i = util::pick(sites, rng);
+      // Find the response (next event of the same transaction) or the end.
+      std::size_t limit = events.size();
+      for (std::size_t j = i + 1; j < events.size(); ++j)
+        if (events[j].txn == events[i].txn) {
+          limit = j;
+          break;
+        }
+      if (limit <= i + 1) break;
+      const std::size_t to =
+          i + 1 + static_cast<std::size_t>(rng.below(limit - i - 1));
+      const Event moved = events[i];
+      events.erase(events.begin() + static_cast<std::ptrdiff_t>(i));
+      events.insert(events.begin() + static_cast<std::ptrdiff_t>(to), moved);
+      break;
+    }
+    case Mutation::kSwapAdjacent: {
+      std::vector<std::size_t> sites;
+      for (std::size_t i = 0; i + 1 < events.size(); ++i)
+        if (events[i].txn != events[i + 1].txn) sites.push_back(i);
+      if (sites.empty()) break;
+      const std::size_t i = util::pick(sites, rng);
+      std::swap(events[i], events[i + 1]);
+      break;
+    }
+    case Mutation::kPromoteAbort: {
+      std::vector<std::size_t> sites;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event& e = events[i];
+        if (e.is_response() && e.op == OpKind::kTryCommit && e.aborted)
+          sites.push_back(i);
+      }
+      if (sites.empty()) break;
+      Event& e = events[util::pick(sites, rng)];
+      e.aborted = false;
+      break;
+    }
+  }
+
+  auto r = History::make(std::move(events), h.num_objects());
+  if (!r.has_value()) return h;  // mutation broke well-formedness: discard
+  return std::move(r).take();
+}
+
+}  // namespace duo::gen

@@ -1,0 +1,69 @@
+// Random history generators for property-based testing and benchmarks.
+//
+// Three generators with different guarantees:
+//
+//   - random_du_history: simulates an idealized deferred-update STM
+//     (value-validating, atomic commit) over a random interleaving. Every
+//     produced history is du-opaque by construction, giving a one-sided
+//     soundness oracle for the checkers.
+//
+//   - random_history: plausible-but-unconstrained histories; read values
+//     are drawn from values someone writes (or the initial value), so both
+//     correct and incorrect histories appear. Exercises both verdicts.
+//
+//   - mutate: corrupts a history (flip a read value, displace a tryC
+//     invocation, swap adjacent events of different transactions) to probe
+//     checker sensitivity around the du boundary.
+#pragma once
+
+#include "history/history.hpp"
+#include "util/rng.hpp"
+
+namespace duo::gen {
+
+using history::History;
+using history::ObjId;
+using history::TxnId;
+using history::Value;
+
+struct GenOptions {
+  int num_txns = 6;
+  ObjId num_objects = 3;
+  int min_ops = 1;
+  int max_ops = 4;            // reads/writes per transaction (before tryC)
+  double write_prob = 0.5;    // each op is a write with this probability
+  double value_skew = 0.0;    // zipf theta over objects (0 = uniform)
+  int value_range = 3;        // write values drawn from [1, value_range];
+                              // small ranges produce duplicate writes
+  bool unique_writes = false;  // give every write a globally unique value
+
+  // Lifecycle knobs (probabilities per transaction):
+  double leave_running_prob = 0.10;   // never invoke tryC
+  double commit_pending_prob = 0.10;  // tryC invoked, never answered
+  double tryc_abort_prob = 0.15;      // tryC answered with A
+  double drop_last_response_prob = 0.05;  // leave the last op incomplete
+
+  // Event interleaving: probability that an operation's invocation and
+  // response are separated by other transactions' events.
+  double split_op_prob = 0.35;
+};
+
+/// Du-opaque-by-construction history (see header comment).
+History random_du_history(const GenOptions& opts, util::Xoshiro256& rng);
+
+/// Unconstrained plausible history.
+History random_history(const GenOptions& opts, util::Xoshiro256& rng);
+
+enum class Mutation : std::uint8_t {
+  kFlipReadValue,    // change a read's returned value
+  kDelayTryC,        // move a tryC invocation later in the history
+  kSwapAdjacent,     // swap two adjacent events of different transactions
+  kPromoteAbort,     // turn a tryC->A response into C
+};
+
+/// Apply one random mutation; returns the mutated history, or the original
+/// if no applicable mutation site exists (mutations preserving
+/// well-formedness only).
+History mutate(const History& h, util::Xoshiro256& rng);
+
+}  // namespace duo::gen

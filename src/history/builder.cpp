@@ -1,0 +1,102 @@
+#include "history/builder.hpp"
+
+namespace duo::history {
+
+HistoryBuilder& HistoryBuilder::read(TxnId t, ObjId x, Value result) {
+  events_.push_back(Event::inv_read(t, x));
+  events_.push_back(Event::resp_read(t, x, result));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::read_aborts(TxnId t, ObjId x) {
+  events_.push_back(Event::inv_read(t, x));
+  events_.push_back(Event::resp_abort(t, OpKind::kRead, x));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::write(TxnId t, ObjId x, Value v) {
+  events_.push_back(Event::inv_write(t, x, v));
+  events_.push_back(Event::resp_write_ok(t, x));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::write_aborts(TxnId t, ObjId x, Value v) {
+  events_.push_back(Event::inv_write(t, x, v));
+  events_.push_back(Event::resp_abort(t, OpKind::kWrite, x));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::tryc(TxnId t) {
+  events_.push_back(Event::inv_tryc(t));
+  events_.push_back(Event::resp_commit(t));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::tryc_aborts(TxnId t) {
+  events_.push_back(Event::inv_tryc(t));
+  events_.push_back(Event::resp_abort(t, OpKind::kTryCommit));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::trya(TxnId t) {
+  events_.push_back(Event::inv_trya(t));
+  events_.push_back(Event::resp_abort(t, OpKind::kTryAbort));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::inv_read(TxnId t, ObjId x) {
+  events_.push_back(Event::inv_read(t, x));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::resp_read(TxnId t, ObjId x, Value result) {
+  events_.push_back(Event::resp_read(t, x, result));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::inv_write(TxnId t, ObjId x, Value v) {
+  events_.push_back(Event::inv_write(t, x, v));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::resp_write(TxnId t, ObjId x) {
+  events_.push_back(Event::resp_write_ok(t, x));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::inv_tryc(TxnId t) {
+  events_.push_back(Event::inv_tryc(t));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::resp_commit(TxnId t) {
+  events_.push_back(Event::resp_commit(t));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::inv_trya(TxnId t) {
+  events_.push_back(Event::inv_trya(t));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::resp_abort(TxnId t, OpKind op, ObjId x) {
+  events_.push_back(Event::resp_abort(t, op, x));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::event(Event e) {
+  events_.push_back(e);
+  return *this;
+}
+
+History HistoryBuilder::build() const {
+  return std::move(try_build()).value_or_die();
+}
+
+util::Result<History> HistoryBuilder::try_build() const {
+  if (initial_values_.empty())
+    return History::make(events_, num_objects_);
+  return History::make(events_, num_objects_, initial_values_);
+}
+
+}  // namespace duo::history

@@ -1,0 +1,64 @@
+// Fluent construction of histories for tests, figures and examples.
+//
+// Two granularities:
+//   - op-level helpers (read/write/tryc/trya) append the invocation and the
+//     response adjacently — convenient for histories that are sequential at
+//     the operation level (most paper figures);
+//   - event-level helpers (inv_*/resp_*) give exact control over
+//     interleavings when an operation must overlap others.
+//
+// Example (paper Figure 3):
+//   auto h = HistoryBuilder(1)       // one t-object X0
+//       .write(1, 0, 1)              // W1(X0,1) -> ok
+//       .read(2, 0, 1)               // R2(X0) -> 1
+//       .tryc(1)                     // tryC1 -> C1
+//       .tryc(2)                     // tryC2 -> C2
+//       .build();
+#pragma once
+
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace duo::history {
+
+class HistoryBuilder {
+ public:
+  explicit HistoryBuilder(ObjId num_objects) : num_objects_(num_objects) {}
+  HistoryBuilder(ObjId num_objects, std::vector<Value> initial_values)
+      : num_objects_(num_objects), initial_values_(std::move(initial_values)) {}
+
+  // -- op-level (invocation immediately followed by response) ---------------
+  HistoryBuilder& read(TxnId t, ObjId x, Value result);
+  HistoryBuilder& read_aborts(TxnId t, ObjId x);
+  HistoryBuilder& write(TxnId t, ObjId x, Value v);
+  HistoryBuilder& write_aborts(TxnId t, ObjId x, Value v);
+  HistoryBuilder& tryc(TxnId t);         // tryC -> C
+  HistoryBuilder& tryc_aborts(TxnId t);  // tryC -> A
+  HistoryBuilder& trya(TxnId t);         // tryA -> A
+
+  // -- event-level ------------------------------------------------------------
+  HistoryBuilder& inv_read(TxnId t, ObjId x);
+  HistoryBuilder& resp_read(TxnId t, ObjId x, Value result);
+  HistoryBuilder& inv_write(TxnId t, ObjId x, Value v);
+  HistoryBuilder& resp_write(TxnId t, ObjId x);
+  HistoryBuilder& inv_tryc(TxnId t);
+  HistoryBuilder& resp_commit(TxnId t);
+  HistoryBuilder& inv_trya(TxnId t);
+  HistoryBuilder& resp_abort(TxnId t, OpKind op, ObjId x = -1);
+  HistoryBuilder& event(Event e);
+
+  /// Validate and build; aborts with a diagnostic on a malformed sequence
+  /// (builder misuse is a programming error in tests/figures).
+  History build() const;
+
+  /// Validate and return the Result instead of aborting.
+  util::Result<History> try_build() const;
+
+ private:
+  ObjId num_objects_;
+  std::vector<Value> initial_values_;
+  std::vector<Event> events_;
+};
+
+}  // namespace duo::history

@@ -1,0 +1,67 @@
+// Invocation/response events of t-operations.
+#pragma once
+
+#include <string>
+
+#include "history/types.hpp"
+
+namespace duo::history {
+
+/// One event of a history. Interpretation of the fields depends on
+/// (kind, op):
+///   - kInvocation/kRead:      obj is the t-object; value unused.
+///   - kInvocation/kWrite:     obj is the t-object; value is the argument v.
+///   - kInvocation/kTryCommit, kTryAbort: obj/value unused.
+///   - kResponse with aborted == true: the A_k response (any op kind).
+///   - kResponse/kRead:        value is the returned value.
+///   - kResponse/kWrite:       the ok_k response.
+///   - kResponse/kTryCommit:   the C_k response.
+struct Event {
+  EventKind kind = EventKind::kInvocation;
+  OpKind op = OpKind::kRead;
+  TxnId txn = 0;
+  ObjId obj = -1;
+  Value value = 0;
+  bool aborted = false;  // meaningful for responses only
+
+  // -- factories -----------------------------------------------------------
+  static Event inv_read(TxnId t, ObjId x) {
+    return Event{EventKind::kInvocation, OpKind::kRead, t, x, 0, false};
+  }
+  static Event resp_read(TxnId t, ObjId x, Value v) {
+    return Event{EventKind::kResponse, OpKind::kRead, t, x, v, false};
+  }
+  static Event inv_write(TxnId t, ObjId x, Value v) {
+    return Event{EventKind::kInvocation, OpKind::kWrite, t, x, v, false};
+  }
+  static Event resp_write_ok(TxnId t, ObjId x) {
+    return Event{EventKind::kResponse, OpKind::kWrite, t, x, 0, false};
+  }
+  static Event inv_tryc(TxnId t) {
+    return Event{EventKind::kInvocation, OpKind::kTryCommit, t, -1, 0, false};
+  }
+  static Event resp_commit(TxnId t) {
+    return Event{EventKind::kResponse, OpKind::kTryCommit, t, -1, 0, false};
+  }
+  static Event inv_trya(TxnId t) {
+    return Event{EventKind::kInvocation, OpKind::kTryAbort, t, -1, 0, false};
+  }
+  /// The A_k response to the pending operation of kind `op`.
+  static Event resp_abort(TxnId t, OpKind op, ObjId x = -1) {
+    return Event{EventKind::kResponse, op, t, x, 0, true};
+  }
+
+  bool is_invocation() const noexcept { return kind == EventKind::kInvocation; }
+  bool is_response() const noexcept { return kind == EventKind::kResponse; }
+
+  friend bool operator==(const Event& a, const Event& b) noexcept {
+    return a.kind == b.kind && a.op == b.op && a.txn == b.txn &&
+           a.obj == b.obj && a.value == b.value && a.aborted == b.aborted;
+  }
+};
+
+/// Compact single-event rendering, e.g. "inv R2(X0)" / "resp R2(X0)->1" /
+/// "resp tryC3->C3". Object names are "X<obj>".
+std::string to_string(const Event& e);
+
+}  // namespace duo::history

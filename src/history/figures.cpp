@@ -1,0 +1,77 @@
+#include "history/figures.hpp"
+
+#include "history/builder.hpp"
+#include "util/assert.hpp"
+
+namespace duo::history::figures {
+
+History fig1() {
+  return HistoryBuilder(1)
+      .write(2, 0, 1)   // W2(X,1)
+      .tryc(2)          // C2
+      .read(1, 0, 1)    // R1(X) -> 1  (reads from T2; tryC3 not yet invoked)
+      .write(3, 0, 1)   // W3(X,1)
+      .tryc(3)          // C3
+      .write(1, 0, 2)   // W1(X,2)
+      .tryc(1)          // C1
+      .read(4, 0, 2)    // R4(X) -> 2  (reads from T1)
+      .tryc(4)          // C4
+      .build();
+}
+
+History fig2(int n) {
+  DUO_EXPECTS(n >= 2);
+  HistoryBuilder b(1);
+  b.write(1, 0, 1);  // W1(X,1)
+  b.inv_tryc(1);     // tryC1 invoked, never answered (commit-pending)
+  b.read(2, 0, 1);   // R2(X) -> 1, after tryC1's invocation
+  for (TxnId i = 3; i <= n; ++i) b.read(i, 0, 0);  // Ri(X) -> 0
+  return b.build();
+}
+
+History fig3() {
+  return HistoryBuilder(1)
+      .write(1, 0, 1)  // W1(X,1)
+      .read(2, 0, 1)   // R2(X) -> 1, before tryC1 is invoked
+      .tryc(1)         // C1
+      .tryc(2)         // C2
+      .build();
+}
+
+History fig3_prefix() { return fig3().prefix(4); }
+
+History fig4() {
+  return HistoryBuilder(1)
+      .write(1, 0, 1)                     // W1(X,1)
+      .inv_tryc(1)                        // tryC1 invoked ...
+      .read(2, 0, 1)                      // R2(X) -> 1 while tryC1 pends
+      .write(3, 0, 1)                     // W3(X,1)
+      .tryc(3)                            // C3, still during tryC1
+      .resp_abort(1, OpKind::kTryCommit)  // ... and only now A1
+      .build();
+}
+
+History fig5() {
+  return HistoryBuilder(2)
+      .write(1, 0, 1)  // W1(X,1)
+      .tryc(1)         // C1
+      .read(2, 0, 1)   // R2(X) -> 1  (responds before tryC3 is invoked)
+      .write(3, 0, 1)  // W3(X,1)
+      .write(3, 1, 1)  // W3(Y,1)
+      .tryc(3)         // C3
+      .read(2, 1, 1)   // R2(Y) -> 1  (responds after C3)
+      .build();
+}
+
+History fig6() {
+  return HistoryBuilder(2)
+      .read(1, 0, 0)   // R1(X) -> 0
+      .write(1, 0, 1)  // W1(X,1)
+      .read(2, 0, 0)   // R2(X) -> 0  (T2 starts before T1 ends: overlap)
+      .tryc(1)         // C1
+      .write(2, 1, 1)  // W2(Y,1)
+      .tryc(2)         // C2
+      .build();
+}
+
+}  // namespace duo::history::figures

@@ -1,0 +1,201 @@
+#include "history/parser.hpp"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/format.hpp"
+
+namespace duo::history {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return done() ? '\0' : text[pos]; }
+  char take() noexcept { return done() ? '\0' : text[pos++]; }
+  bool eat(char c) noexcept {
+    if (peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool parse_int(Cursor& c, long long& out) {
+  bool neg = false;
+  if (c.peek() == '-') {
+    neg = true;
+    c.take();
+  }
+  if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+  long long v = 0;
+  while (std::isdigit(static_cast<unsigned char>(c.peek())))
+    v = v * 10 + (c.take() - '0');
+  out = neg ? -v : v;
+  return true;
+}
+
+// Parses an object reference: "X3" or "3".
+bool parse_obj(Cursor& c, long long& out) {
+  c.eat('X');
+  return parse_int(c, out);
+}
+
+}  // namespace
+
+util::Result<History> parse_history(std::string_view text) {
+  using R = util::Result<History>;
+  std::vector<Event> events;
+  ObjId max_obj = -1;
+  ObjId declared_objects = -1;
+
+  // Tokenize on whitespace.
+  std::vector<std::string> tokens;
+  {
+    std::string cur;
+    for (char ch : text) {
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        if (!cur.empty()) tokens.push_back(std::move(cur)), cur.clear();
+      } else {
+        cur.push_back(ch);
+      }
+    }
+    if (!cur.empty()) tokens.push_back(std::move(cur));
+  }
+
+  for (const std::string& tok : tokens) {
+    if (util::starts_with(tok, "objects=")) {
+      Cursor c{tok, 8};
+      long long n = 0;
+      if (!parse_int(c, n) || !c.done() || n < 0)
+        return R::error("bad objects= token: " + tok);
+      declared_objects = static_cast<ObjId>(n);
+      continue;
+    }
+
+    Cursor c{tok, 0};
+    const char kind = c.take();
+    if (kind != 'R' && kind != 'W' && kind != 'C' && kind != 'A')
+      return R::error("unknown token (expected R/W/C/A): " + tok);
+    long long txn = 0;
+    if (!parse_int(c, txn) || txn < 0)
+      return R::error("bad transaction id in token: " + tok);
+    const auto t = static_cast<TxnId>(txn);
+
+    // Event-level suffix: '?' invocation, '!' response; none = both.
+    char level = ' ';
+    if (c.peek() == '?' || c.peek() == '!') level = c.take();
+
+    auto fail = [&](const char* why) { return R::error(std::string(why) + ": " + tok); };
+
+    switch (kind) {
+      case 'R': {
+        if (!c.eat('(')) return fail("expected '('");
+        long long obj = 0;
+        if (!parse_obj(c, obj) || obj < 0) return fail("bad object");
+        if (!c.eat(')')) return fail("expected ')'");
+        const auto x = static_cast<ObjId>(obj);
+        max_obj = std::max(max_obj, x);
+        if (level == '?') {
+          if (!c.done()) return fail("trailing characters");
+          events.push_back(Event::inv_read(t, x));
+          break;
+        }
+        if (!c.eat('=')) return fail("expected '=value' or '=A'");
+        if (level != '!') events.push_back(Event::inv_read(t, x));
+        if (c.peek() == 'A') {
+          c.take();
+          if (!c.done()) return fail("trailing characters");
+          events.push_back(Event::resp_abort(t, OpKind::kRead, x));
+        } else {
+          long long v = 0;
+          if (!parse_int(c, v) || !c.done()) return fail("bad read value");
+          events.push_back(Event::resp_read(t, x, static_cast<Value>(v)));
+        }
+        break;
+      }
+      case 'W': {
+        if (!c.eat('(')) return fail("expected '('");
+        long long obj = 0;
+        if (!parse_obj(c, obj) || obj < 0) return fail("bad object");
+        const auto x = static_cast<ObjId>(obj);
+        max_obj = std::max(max_obj, x);
+        if (level == '!') {
+          // W1!(X0) or W1!(X0)=A — response carries no argument.
+          if (!c.eat(')')) return fail("expected ')'");
+          if (c.done()) {
+            events.push_back(Event::resp_write_ok(t, x));
+          } else if (c.eat('=') && c.eat('A') && c.done()) {
+            events.push_back(Event::resp_abort(t, OpKind::kWrite, x));
+          } else {
+            return fail("bad write response");
+          }
+          break;
+        }
+        if (!c.eat(',')) return fail("expected ',value'");
+        long long v = 0;
+        if (!parse_int(c, v)) return fail("bad write value");
+        if (!c.eat(')')) return fail("expected ')'");
+        events.push_back(Event::inv_write(t, x, static_cast<Value>(v)));
+        if (level == '?') {
+          if (!c.done()) return fail("trailing characters");
+          break;
+        }
+        if (c.done()) {
+          events.push_back(Event::resp_write_ok(t, x));
+        } else if (c.eat('=') && c.eat('A') && c.done()) {
+          events.push_back(Event::resp_abort(t, OpKind::kWrite, x));
+        } else {
+          return fail("bad write suffix");
+        }
+        break;
+      }
+      case 'C': {
+        if (level == '?') {
+          if (!c.done()) return fail("trailing characters");
+          events.push_back(Event::inv_tryc(t));
+          break;
+        }
+        if (level != '!') events.push_back(Event::inv_tryc(t));
+        if (c.done()) {
+          events.push_back(Event::resp_commit(t));
+        } else if (c.eat('=') && c.eat('A') && c.done()) {
+          events.push_back(Event::resp_abort(t, OpKind::kTryCommit));
+        } else {
+          return fail("bad tryC suffix");
+        }
+        break;
+      }
+      case 'A': {
+        if (level == '?') {
+          if (!c.done()) return fail("trailing characters");
+          events.push_back(Event::inv_trya(t));
+          break;
+        }
+        if (!c.done()) return fail("trailing characters");
+        if (level != '!') events.push_back(Event::inv_trya(t));
+        events.push_back(Event::resp_abort(t, OpKind::kTryAbort));
+        break;
+      }
+      default:
+        DUO_UNREACHABLE("token dispatch");
+    }
+  }
+
+  const ObjId num_objects =
+      declared_objects >= 0 ? declared_objects : max_obj + 1;
+  if (max_obj >= num_objects)
+    return R::error("objects= declares fewer objects than used");
+  return History::make(std::move(events), num_objects);
+}
+
+History parse_history_or_die(std::string_view text) {
+  return std::move(parse_history(text)).value_or_die();
+}
+
+}  // namespace duo::history

@@ -1,0 +1,37 @@
+// Compact textual history format (round-trips with printer::compact).
+//
+// A history is whitespace-separated tokens, one per operation (op-level) or
+// one per event (event-level). Transactions are numbered, objects written
+// X<k> (the X may be omitted). Examples:
+//
+//   Op-level (invocation immediately followed by its response):
+//     R2(X0)=1      read_2(X0) returning 1
+//     R2(X0)=A      read_2(X0) aborting
+//     W1(X0,5)      write_1(X0,5) returning ok
+//     W1(X0,5)=A    write_1(X0,5) aborting
+//     C1            tryC_1 -> C_1
+//     C1=A          tryC_1 -> A_1
+//     A1            tryA_1 -> A_1
+//
+//   Event-level ('?' = invocation only, '!' = response only):
+//     R2?(X0)  R2!(X0)=1  W1?(X0,5)  W1!(X0)  W1!(X0)=A  C1? C1! C1!=A
+//     A1? A1!
+//
+//   An optional leading token `objects=N` fixes the object count; otherwise
+//   it is inferred as (max object id) + 1.
+//
+// Paper Figure 3 in this syntax: "W1(X0,1) R2(X0)=1 C1 C2".
+#pragma once
+
+#include <string_view>
+
+#include "history/history.hpp"
+
+namespace duo::history {
+
+util::Result<History> parse_history(std::string_view text);
+
+/// Convenience for tests/figures: parse or abort with the diagnostic.
+History parse_history_or_die(std::string_view text);
+
+}  // namespace duo::history

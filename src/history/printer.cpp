@@ -1,0 +1,150 @@
+#include "history/printer.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/format.hpp"
+
+namespace duo::history {
+
+namespace {
+
+// Token for an invocation event, op-level ("R2(X0)=1") when the response is
+// the immediately following event of the same transaction, or event-level
+// ("R2?(X0)") otherwise. Returns the number of events consumed (1 or 2).
+std::size_t emit_token(const History& h, std::size_t i, std::string& out) {
+  const Event& e = h.events()[i];
+  const bool has_adjacent_resp =
+      i + 1 < h.size() && h.events()[i + 1].txn == e.txn &&
+      h.events()[i + 1].is_response() && h.events()[i + 1].op == e.op;
+  std::ostringstream tok;
+
+  auto value_suffix = [](const Event& resp) -> std::string {
+    std::ostringstream s;
+    if (resp.aborted) {
+      s << "=A";
+    } else if (resp.op == OpKind::kRead) {
+      s << "=" << resp.value;
+    }
+    return s.str();
+  };
+
+  if (e.is_invocation()) {
+    switch (e.op) {
+      case OpKind::kRead:
+        tok << "R" << e.txn << (has_adjacent_resp ? "" : "?") << "(X" << e.obj
+            << ")";
+        if (has_adjacent_resp) tok << value_suffix(h.events()[i + 1]);
+        break;
+      case OpKind::kWrite:
+        tok << "W" << e.txn << (has_adjacent_resp ? "" : "?") << "(X" << e.obj
+            << "," << e.value << ")";
+        if (has_adjacent_resp) tok << value_suffix(h.events()[i + 1]);
+        break;
+      case OpKind::kTryCommit:
+        tok << "C" << e.txn << (has_adjacent_resp ? "" : "?");
+        if (has_adjacent_resp) tok << value_suffix(h.events()[i + 1]);
+        break;
+      case OpKind::kTryAbort:
+        tok << "A" << e.txn << (has_adjacent_resp ? "" : "?");
+        break;
+    }
+    out = tok.str();
+    return has_adjacent_resp ? 2 : 1;
+  }
+
+  // Standalone response.
+  switch (e.op) {
+    case OpKind::kRead:
+      tok << "R" << e.txn << "!(X" << e.obj << ")"
+          << (e.aborted ? "=A" : "=" + std::to_string(e.value));
+      break;
+    case OpKind::kWrite:
+      tok << "W" << e.txn << "!(X" << e.obj << ")" << (e.aborted ? "=A" : "");
+      break;
+    case OpKind::kTryCommit:
+      tok << "C" << e.txn << "!" << (e.aborted ? "=A" : "");
+      break;
+    case OpKind::kTryAbort:
+      tok << "A" << e.txn << "!";
+      break;
+  }
+  out = tok.str();
+  return 1;
+}
+
+}  // namespace
+
+std::string compact(const History& h) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < h.size()) {
+    std::string tok;
+    i += emit_token(h, i, tok);
+    tokens.push_back(std::move(tok));
+  }
+  return util::join(tokens, " ");
+}
+
+std::string timeline(const History& h) {
+  // Lay out op-level tokens in global columns; each token occupies a column
+  // on the row of its transaction.
+  struct Cell {
+    std::size_t tix;
+    std::string text;
+  };
+  std::vector<Cell> cells;
+  std::size_t i = 0;
+  while (i < h.size()) {
+    const TxnId id = h.events()[i].txn;
+    std::string tok;
+    i += emit_token(h, i, tok);
+    // Strip the transaction number for readability; the row labels it.
+    cells.push_back({h.tix_of(id), std::move(tok)});
+  }
+
+  const std::size_t rows = h.num_txns();
+  std::vector<std::string> lines(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::ostringstream label;
+    label << "T" << h.txn(r).id << " |";
+    lines[r] = label.str();
+  }
+  std::size_t label_width = 0;
+  for (const auto& l : lines) label_width = std::max(label_width, l.size());
+  for (auto& l : lines) l.append(label_width - l.size(), ' ');
+
+  for (const Cell& cell : cells) {
+    const std::size_t width = cell.text.size() + 1;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == cell.tix) {
+        lines[r] += " " + cell.text;
+      } else {
+        lines[r].append(width, ' ');
+      }
+    }
+  }
+
+  std::ostringstream out;
+  for (const auto& l : lines) out << l << '\n';
+  return out.str();
+}
+
+std::string summary(const History& h) {
+  std::size_t committed = 0, aborted = 0, pending = 0, running = 0;
+  for (const Transaction& t : h.transactions()) {
+    switch (t.status) {
+      case TxnStatus::kCommitted: ++committed; break;
+      case TxnStatus::kAborted: ++aborted; break;
+      case TxnStatus::kCommitPending: ++pending; break;
+      case TxnStatus::kRunning: ++running; break;
+    }
+  }
+  std::ostringstream out;
+  out << "#events=" << h.size() << " #txns=" << h.num_txns() << " ("
+      << committed << " committed, " << aborted << " aborted, " << pending
+      << " commit-pending, " << running << " running)";
+  return out.str();
+}
+
+}  // namespace duo::history

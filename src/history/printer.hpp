@@ -1,0 +1,24 @@
+// Rendering of histories: compact token form (round-trips with the parser)
+// and a per-transaction ASCII timeline like the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "history/history.hpp"
+
+namespace duo::history {
+
+/// One token per operation/event; parse_history(compact(h)) == h.
+std::string compact(const History& h);
+
+/// Multi-line rendering, one row per transaction, events laid out in
+/// global order so overlap structure is visible:
+///
+///   T1 |            R(X0)=1 W(X0,2)      C
+///   T2 | W(X0,1) C
+std::string timeline(const History& h);
+
+/// One-line summary: "#events=12 #txns=3 (2 committed, 1 aborted)".
+std::string summary(const History& h);
+
+}  // namespace duo::history

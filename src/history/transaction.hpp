@@ -1,0 +1,80 @@
+// Per-transaction derived data: operations, status, read/write sets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "history/types.hpp"
+
+namespace duo::history {
+
+/// One t-operation of a transaction: a matched (or still-unmatched)
+/// invocation/response pair, with indices into the owning history's event
+/// sequence.
+struct Op {
+  OpKind kind = OpKind::kRead;
+  ObjId obj = -1;       // read/write only
+  Value arg = 0;        // write argument
+  Value result = 0;     // read response value (valid if value_response())
+  bool has_response = false;
+  bool aborted = false;  // response was A_k
+  std::size_t inv_index = 0;
+  std::size_t resp_index = 0;  // valid iff has_response
+
+  /// True for a read that completed with a value (not A_k).
+  bool value_response() const noexcept {
+    return kind == OpKind::kRead && has_response && !aborted;
+  }
+};
+
+/// Everything the checkers need to know about one transaction, derived once
+/// when a History is constructed.
+struct Transaction {
+  TxnId id = 0;
+  std::vector<Op> ops;
+  std::size_t first_event = 0;
+  std::size_t last_event = 0;
+  TxnStatus status = TxnStatus::kRunning;
+
+  /// "Complete" in the paper's sense: every invoked operation has a response
+  /// (the transaction itself may still not be t-complete).
+  bool complete = false;
+
+  /// Event index of the tryC invocation, if any.
+  std::optional<std::size_t> tryc_inv;
+
+  /// t-objects read with a value response, in program order. Each entry is
+  /// the index of the Op in `ops`. The model assumes at most one read per
+  /// t-object per transaction (enforced by History validation).
+  std::vector<std::size_t> external_reads;  // reads with no own prior write
+  std::vector<std::size_t> internal_reads;  // reads preceded by an own write
+
+  /// Final value this transaction would commit per written object:
+  /// (object, value of its last write to that object), sorted by object.
+  std::vector<std::pair<ObjId, Value>> final_writes;
+
+  bool t_complete() const noexcept {
+    return status == TxnStatus::kCommitted || status == TxnStatus::kAborted;
+  }
+  bool committed() const noexcept { return status == TxnStatus::kCommitted; }
+  bool aborted() const noexcept { return status == TxnStatus::kAborted; }
+  bool commit_pending() const noexcept {
+    return status == TxnStatus::kCommitPending;
+  }
+
+  bool writes(ObjId x) const noexcept {
+    for (const auto& [obj, v] : final_writes)
+      if (obj == x) return true;
+    return false;
+  }
+
+  /// Value of the last write to x, if this transaction writes x.
+  std::optional<Value> final_write_value(ObjId x) const noexcept {
+    for (const auto& [obj, v] : final_writes)
+      if (obj == x) return v;
+    return std::nullopt;
+  }
+};
+
+}  // namespace duo::history

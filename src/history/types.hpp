@@ -1,0 +1,47 @@
+// Basic identifier and value types of the transactional-memory model (§2 of
+// Attiya, Hans, Kuznetsov, Ravi, "Safety of Deferred Update in Transactional
+// Memory", ICDCS 2013 — "the paper" throughout these sources).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace duo::history {
+
+/// Transaction identifier. The paper's imaginary initial transaction T0 is
+/// not materialized: initial values are a property of the History object.
+/// User transactions use ids >= 1 by convention (0 is allowed but reserved
+/// for the initial transaction in pretty printers).
+using TxnId = std::int32_t;
+
+/// Transactional object (t-object) identifier: dense, starting at 0.
+using ObjId = std::int32_t;
+
+/// The value domain V of the paper. Responses A_k / C_k / ok_k are not
+/// values; they are encoded in the event structure instead of in-band.
+using Value = std::int64_t;
+
+/// Kinds of t-operations a transaction may issue (paper §2).
+enum class OpKind : std::uint8_t {
+  kRead,       // read_k(X)    -> value or A_k
+  kWrite,      // write_k(X,v) -> ok or A_k
+  kTryCommit,  // tryC_k()     -> C_k or A_k
+  kTryAbort,   // tryA_k()     -> A_k
+};
+
+/// Each t-operation is a matching pair of invocation and response events.
+enum class EventKind : std::uint8_t { kInvocation, kResponse };
+
+/// Derived transaction status within a (possibly incomplete) history.
+enum class TxnStatus : std::uint8_t {
+  kCommitted,      // tryC responded with C_k
+  kAborted,        // some operation responded with A_k
+  kCommitPending,  // tryC invoked, no response yet
+  kRunning,        // neither tryC nor tryA invoked (ops may be incomplete)
+};
+
+std::string to_string(OpKind k);
+std::string to_string(EventKind k);
+std::string to_string(TxnStatus s);
+
+}  // namespace duo::history

@@ -1,0 +1,168 @@
+#include "stm/norec.hpp"
+
+#include <thread>
+
+namespace duo::stm {
+
+class NorecTransaction final : public Transaction {
+ public:
+  NorecTransaction(NorecStm& stm, TxnId id) : stm_(stm), id_(id) {
+    snapshot_ = wait_unlocked();
+  }
+
+  std::optional<Value> read(ObjId obj) override {
+    DUO_EXPECTS(!finished_);
+    if (const Value* buffered = find_write(obj)) {
+      const Value v = *buffered;
+      if (!read_recorded(obj)) {
+        OpScope scope(stm_.recorder_, Event::inv_read(id_, obj));
+        scope.respond(Event::resp_read(id_, obj, v));
+        recorded_reads_.push_back(obj);
+      }
+      return v;
+    }
+    for (const auto& [o, v] : reads_)
+      if (o == obj) return v;  // repeat read served from the read set
+
+    OpScope scope(stm_.recorder_, Event::inv_read(id_, obj));
+    recorded_reads_.push_back(obj);
+
+    // NORec read loop: sample the value; if the global seqlock moved since
+    // our snapshot, revalidate the whole read set by value and retry.
+    while (true) {
+      const Value v = stm_.values_[static_cast<std::size_t>(obj)].load(
+          std::memory_order_acquire);
+      if (stm_.seqlock_.load(std::memory_order_acquire) == snapshot_) {
+        reads_.emplace_back(obj, v);
+        scope.respond(Event::resp_read(id_, obj, v));
+        return v;
+      }
+      if (!revalidate()) {
+        finished_ = true;
+        scope.respond(Event::resp_abort(id_, history::OpKind::kRead, obj));
+        return std::nullopt;
+      }
+    }
+  }
+
+  bool write(ObjId obj, Value v) override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_write(id_, obj, v));
+    bool found = false;
+    for (auto& w : writes_)
+      if (w.first == obj) {
+        w.second = v;
+        found = true;
+      }
+    if (!found) writes_.emplace_back(obj, v);
+    scope.respond(Event::resp_write_ok(id_, obj));
+    return true;
+  }
+
+  bool commit() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
+    finished_ = true;
+
+    if (writes_.empty()) {
+      scope.respond(Event::resp_commit(id_));
+      return true;
+    }
+
+    // Acquire the global lock at our snapshot; on contention, revalidate
+    // and move the snapshot forward.
+    std::uint64_t expected = snapshot_;
+    while (!stm_.seqlock_.compare_exchange_weak(expected, snapshot_ + 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      if (!revalidate()) {
+        scope.respond(Event::resp_abort(id_, history::OpKind::kTryCommit));
+        return false;
+      }
+      expected = snapshot_;
+    }
+
+    for (const auto& [obj, v] : writes_)
+      stm_.values_[static_cast<std::size_t>(obj)].store(
+          v, std::memory_order_release);
+    stm_.seqlock_.store(snapshot_ + 2, std::memory_order_release);
+    scope.respond(Event::resp_commit(id_));
+    return true;
+  }
+
+  void abort() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_trya(id_));
+    finished_ = true;
+    scope.respond(Event::resp_abort(id_, history::OpKind::kTryAbort));
+  }
+
+  bool finished() const override { return finished_; }
+
+ private:
+  std::uint64_t wait_unlocked() const {
+    while (true) {
+      const std::uint64_t s = stm_.seqlock_.load(std::memory_order_acquire);
+      if ((s & 1u) == 0) return s;
+      std::this_thread::yield();  // let a descheduled committer finish
+    }
+  }
+
+  /// Value-based revalidation of the read set; on success the snapshot is
+  /// advanced to a lock value at which every read is still current.
+  bool revalidate() {
+    while (true) {
+      const std::uint64_t s = wait_unlocked();
+      for (const auto& [obj, v] : reads_) {
+        if (stm_.values_[static_cast<std::size_t>(obj)].load(
+                std::memory_order_acquire) != v)
+          return false;
+      }
+      if (stm_.seqlock_.load(std::memory_order_acquire) == s) {
+        snapshot_ = s;
+        return true;
+      }
+    }
+  }
+
+  const Value* find_write(ObjId obj) const {
+    for (const auto& w : writes_)
+      if (w.first == obj) return &w.second;
+    return nullptr;
+  }
+
+  bool read_recorded(ObjId obj) const {
+    for (const ObjId o : recorded_reads_)
+      if (o == obj) return true;
+    return false;
+  }
+
+  NorecStm& stm_;
+  const TxnId id_;
+  std::uint64_t snapshot_;
+  std::vector<std::pair<ObjId, Value>> reads_;
+  std::vector<std::pair<ObjId, Value>> writes_;
+  std::vector<ObjId> recorded_reads_;
+  bool finished_ = false;
+};
+
+NorecStm::NorecStm(ObjId num_objects, Recorder* recorder)
+    : num_objects_(num_objects),
+      recorder_(recorder),
+      values_(static_cast<std::size_t>(num_objects)) {
+  DUO_EXPECTS(num_objects >= 1);
+  for (auto& v : values_) v.store(0, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Transaction> NorecStm::begin() {
+  return std::make_unique<NorecTransaction>(
+      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Value NorecStm::sample_committed(ObjId obj) const {
+  DUO_EXPECTS(obj >= 0 && obj < num_objects_);
+  return values_[static_cast<std::size_t>(obj)].load(
+      std::memory_order_acquire);
+}
+
+}  // namespace duo::stm

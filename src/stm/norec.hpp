@@ -1,0 +1,36 @@
+// NORec (Dalessandro, Spear, Scott, PPoPP 2010): deferred-update STM with a
+// single global sequence lock and value-based validation — no per-object
+// metadata ("no ownership records"). Cited by the paper (§5, [3]) as a
+// du-opaque implementation; experiment E11 checks its recorded histories.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace duo::stm {
+
+class NorecStm final : public Stm {
+ public:
+  explicit NorecStm(ObjId num_objects, Recorder* recorder = nullptr);
+
+  std::unique_ptr<Transaction> begin() override;
+  Value sample_committed(ObjId obj) const override;
+  ObjId num_objects() const override { return num_objects_; }
+  std::string name() const override { return "NORec"; }
+
+ private:
+  friend class NorecTransaction;
+
+  const ObjId num_objects_;
+  Recorder* const recorder_;
+  /// Even: unlocked; odd: a committer is writing back.
+  std::atomic<std::uint64_t> seqlock_{0};
+  std::atomic<TxnId> next_txn_id_{1};
+  std::vector<std::atomic<Value>> values_;
+};
+
+}  // namespace duo::stm

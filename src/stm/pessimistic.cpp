@@ -1,0 +1,106 @@
+#include "stm/pessimistic.hpp"
+
+namespace duo::stm {
+
+class PessimisticTransaction final : public Transaction {
+ public:
+  PessimisticTransaction(PessimisticStm& stm, TxnId id)
+      : stm_(stm), id_(id) {}
+
+  ~PessimisticTransaction() override {
+    // No-abort STM: a dropped transaction that acquired the writer lock
+    // must still release it.
+    if (writer_ && !finished_) stm_.writer_mutex_.unlock();
+  }
+
+  std::optional<Value> read(ObjId obj) override {
+    DUO_EXPECTS(!finished_);
+    if (!writer_) {
+      // Repeat reads come from the cache; once this transaction has become
+      // a writer it reads memory directly (which includes its own in-place
+      // writes).
+      for (const auto& [o, v] : read_cache_)
+        if (o == obj) return v;
+    }
+    const bool record_event = !read_recorded(obj);
+    OpScope scope(record_event ? stm_.recorder_ : nullptr,
+                  Event::inv_read(id_, obj));
+    const Value v = stm_.values_[static_cast<std::size_t>(obj)].load(
+        std::memory_order_acquire);
+    if (record_event) {
+      recorded_reads_.push_back(obj);
+      scope.respond(Event::resp_read(id_, obj, v));
+    }
+    if (!writer_) read_cache_.emplace_back(obj, v);
+    return v;
+  }
+
+  bool write(ObjId obj, Value v) override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_write(id_, obj, v));
+    if (!writer_) {
+      stm_.writer_mutex_.lock();
+      writer_ = true;
+    }
+    stm_.values_[static_cast<std::size_t>(obj)].store(
+        v, std::memory_order_release);
+    scope.respond(Event::resp_write_ok(id_, obj));
+    return true;
+  }
+
+  bool commit() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
+    finished_ = true;
+    if (writer_) stm_.writer_mutex_.unlock();
+    scope.respond(Event::resp_commit(id_));
+    return true;  // no transaction ever aborts
+  }
+
+  void abort() override {
+    // The modeled system has no aborts; expose tryA for API completeness
+    // but treat it as releasing resources without undo.
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_trya(id_));
+    finished_ = true;
+    if (writer_) stm_.writer_mutex_.unlock();
+    scope.respond(Event::resp_abort(id_, history::OpKind::kTryAbort));
+  }
+
+  bool finished() const override { return finished_; }
+
+ private:
+  bool read_recorded(ObjId obj) const {
+    for (const ObjId o : recorded_reads_)
+      if (o == obj) return true;
+    return false;
+  }
+
+  PessimisticStm& stm_;
+  const TxnId id_;
+  bool writer_ = false;
+  std::vector<std::pair<ObjId, Value>> read_cache_;
+  std::vector<ObjId> recorded_reads_;
+  bool finished_ = false;
+};
+
+PessimisticStm::PessimisticStm(ObjId num_objects, Recorder* recorder)
+    : num_objects_(num_objects),
+      recorder_(recorder),
+      values_(static_cast<std::size_t>(num_objects)) {
+  DUO_EXPECTS(num_objects >= 1);
+  for (auto& v : values_) v.store(0, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Transaction> PessimisticStm::begin() {
+  return std::make_unique<PessimisticTransaction>(
+      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Value PessimisticStm::sample_committed(ObjId obj) const {
+  DUO_EXPECTS(obj >= 0 && obj < num_objects_);
+  return values_[static_cast<std::size_t>(obj)].load(
+      std::memory_order_acquire);
+}
+
+}  // namespace duo::stm

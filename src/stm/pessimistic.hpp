@@ -1,0 +1,48 @@
+// A pessimistic, no-abort STM in the spirit of Afek, Matveev, Shavit
+// ("Pessimistic software lock-elision", DISC 2012), which the paper singles
+// out in §5: it does not provide deferred-update semantics, is technically
+// not opaque, and certainly not du-opaque.
+//
+// Design (simplified but behavior-preserving for the property under study —
+// see DESIGN.md §4 "Substitutions"):
+//   - writers serialize on a global mutex held from their first write to
+//     their commit, updating objects *in place* at write time;
+//   - reads are unvalidated atomic loads and never abort;
+//   - every transaction commits (tryC always returns C).
+//
+// Consequences the checkers must observe (experiment E12):
+//   - a read can return a value written by a transaction that has not yet
+//     invoked tryC — a deferred-update violation by definition;
+//   - two reads can straddle a writer's in-place updates, yielding an
+//     inconsistent snapshot — often not even final-state opaque.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace duo::stm {
+
+class PessimisticStm final : public Stm {
+ public:
+  explicit PessimisticStm(ObjId num_objects, Recorder* recorder = nullptr);
+
+  std::unique_ptr<Transaction> begin() override;
+  Value sample_committed(ObjId obj) const override;
+  ObjId num_objects() const override { return num_objects_; }
+  std::string name() const override { return "pessimistic"; }
+
+ private:
+  friend class PessimisticTransaction;
+
+  const ObjId num_objects_;
+  Recorder* const recorder_;
+  std::mutex writer_mutex_;
+  std::atomic<TxnId> next_txn_id_{1};
+  std::vector<std::atomic<Value>> values_;
+};
+
+}  // namespace duo::stm

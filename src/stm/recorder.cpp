@@ -1,0 +1,18 @@
+#include "stm/recorder.hpp"
+
+namespace duo::stm {
+
+History Recorder::finish(ObjId num_objects) const {
+  const std::size_t n = next_.load(std::memory_order_acquire);
+  DUO_ASSERT(n <= slots_.size());
+  std::vector<Event> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DUO_ASSERT(slots_[i].ready.load(std::memory_order_acquire));
+    events.push_back(slots_[i].event);
+  }
+  return std::move(History::make(std::move(events), num_objects))
+      .value_or_die();
+}
+
+}  // namespace duo::stm

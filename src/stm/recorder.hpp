@@ -1,0 +1,81 @@
+// Execution recorder: turns live multithreaded STM runs into History
+// objects for the checkers.
+//
+// Every STM operation logs its invocation event before doing any work and
+// its response event after all its effects are visible. Slots are claimed
+// with a sequentially consistent fetch-add, so the recorded total order is a
+// linearization of the events that is consistent with real time: if one
+// event's logging happens-before another's (same thread, or through any
+// happens-before chain such as "commit wrote the value the read returned"),
+// its sequence number is smaller.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "history/history.hpp"
+#include "util/assert.hpp"
+
+namespace duo::stm {
+
+using history::Event;
+using history::History;
+using history::ObjId;
+using history::TxnId;
+using history::Value;
+
+class Recorder {
+ public:
+  /// `capacity` bounds the number of events; recording past it aborts the
+  /// process (tests size their runs).
+  explicit Recorder(std::size_t capacity) : slots_(capacity) {}
+
+  /// Record an event; thread-safe, wait-free (one fetch_add + one store).
+  void record(const Event& e) noexcept {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_seq_cst);
+    DUO_ASSERT(i < slots_.size());
+    slots_[i].event = e;
+    slots_[i].ready.store(true, std::memory_order_release);
+  }
+
+  /// Number of events recorded so far (racy while threads run; exact after
+  /// they join).
+  std::size_t count() const noexcept {
+    return next_.load(std::memory_order_acquire);
+  }
+
+  /// Build the recorded History. Call only after all recording threads have
+  /// joined. Aborts on a malformed recording — an STM whose per-thread event
+  /// stream is not well-formed has a recorder integration bug.
+  History finish(ObjId num_objects) const;
+
+  /// Disabled recorder convenience: a null recorder records nothing.
+  static Recorder* disabled() noexcept { return nullptr; }
+
+ private:
+  struct Slot {
+    Event event;
+    std::atomic<bool> ready{false};
+  };
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// RAII helper used by the STM implementations: records the invocation on
+/// construction and the chosen response on destruction unless released.
+/// Null recorder => no-ops.
+class OpScope {
+ public:
+  OpScope(Recorder* rec, const Event& inv) noexcept : rec_(rec) {
+    if (rec_ != nullptr) rec_->record(inv);
+  }
+  void respond(const Event& resp) noexcept {
+    if (rec_ != nullptr) rec_->record(resp);
+  }
+
+ private:
+  Recorder* rec_;
+};
+
+}  // namespace duo::stm

@@ -1,0 +1,250 @@
+#include "stm/tl2.hpp"
+
+#include <algorithm>
+
+namespace duo::stm {
+
+namespace {
+
+struct ReadEntry {
+  ObjId obj;
+  std::uint64_t version;
+};
+
+struct WriteEntry {
+  ObjId obj;
+  Value value;
+};
+
+}  // namespace
+
+class Tl2Transaction final : public Transaction {
+ public:
+  Tl2Transaction(Tl2Stm& stm, TxnId id)
+      : stm_(stm), id_(id),
+        rv_(stm.global_clock_.load(std::memory_order_acquire)) {}
+
+  ~Tl2Transaction() override {
+    // A dropped live transaction is aborted silently (no tryA was invoked,
+    // so there is nothing to record; the history leaves it running).
+  }
+
+  std::optional<Value> read(ObjId obj) override {
+    DUO_EXPECTS(!finished_);
+    // Transaction-local accesses first. The recorded history must respect
+    // the model's read-once assumption (paper §2): only the first read of
+    // each object emits events; repeats are served from the redo log or the
+    // read cache, which the paper notes "incurs no loss of generality".
+    if (const Value* buffered = find_write(obj)) {
+      const Value v = *buffered;
+      if (!read_recorded(obj)) {
+        OpScope scope(stm_.recorder_, Event::inv_read(id_, obj));
+        scope.respond(Event::resp_read(id_, obj, v));
+        recorded_reads_.push_back(obj);
+      }
+      return v;
+    }
+    for (const auto& [o, v] : read_cache_)
+      if (o == obj) return v;  // repeat read: recorded already
+
+    OpScope scope(stm_.recorder_, Event::inv_read(id_, obj));
+    recorded_reads_.push_back(obj);
+
+    Tl2Stm::Slot& slot = stm_.slots_[static_cast<std::size_t>(obj)];
+    const std::uint64_t v1 = slot.vlock.load(std::memory_order_acquire);
+    const Value value = slot.value.load(std::memory_order_acquire);
+    const std::uint64_t v2 = slot.vlock.load(std::memory_order_acquire);
+
+    if (!stm_.options_.faulty_skip_read_validation) {
+      if (Tl2Stm::locked(v1) || v1 != v2 || Tl2Stm::version(v1) > rv_) {
+        finished_ = true;
+        scope.respond(Event::resp_abort(id_, history::OpKind::kRead, obj));
+        return std::nullopt;
+      }
+    }
+    reads_.push_back({obj, Tl2Stm::version(v1)});
+    read_cache_.emplace_back(obj, value);
+    scope.respond(Event::resp_read(id_, obj, value));
+    return value;
+  }
+
+  bool write(ObjId obj, Value v) override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_write(id_, obj, v));
+    for (WriteEntry& w : writes_)
+      if (w.obj == obj) {
+        w.value = v;
+        scope.respond(Event::resp_write_ok(id_, obj));
+        return true;
+      }
+    writes_.push_back({obj, v});
+    scope.respond(Event::resp_write_ok(id_, obj));
+    return true;
+  }
+
+  bool commit() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
+    finished_ = true;
+
+    if (writes_.empty()) {
+      // Read-only: all reads were validated against rv at read time.
+      scope.respond(Event::resp_commit(id_));
+      return true;
+    }
+
+    // Acquire write locks in object order (deadlock freedom) with bounded
+    // spinning (liveness under contention).
+    std::sort(writes_.begin(), writes_.end(),
+              [](const WriteEntry& a, const WriteEntry& b) {
+                return a.obj < b.obj;
+              });
+    std::size_t acquired = 0;
+    for (; acquired < writes_.size(); ++acquired) {
+      if (!lock_slot(writes_[acquired].obj)) break;
+    }
+    if (acquired < writes_.size()) {
+      release_locks(acquired);
+      scope.respond(Event::resp_abort(id_, history::OpKind::kTryCommit));
+      return false;
+    }
+
+    const std::uint64_t wv =
+        stm_.global_clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+    // Validate the read set unless this transaction is the only possible
+    // writer since rv (TL2's rv + 1 == wv shortcut) or fault injection
+    // disables it.
+    if (!stm_.options_.faulty_skip_commit_validation && rv_ + 1 != wv) {
+      for (const ReadEntry& r : reads_) {
+        // For slots we hold the lock on, the pre-lock version was saved at
+        // acquisition time; it must still be validated against rv (another
+        // transaction may have committed to it between our read and our
+        // lock). For the rest, the slot must be unlocked and not newer
+        // than rv.
+        if (const auto own = owned_version(r.obj)) {
+          if (*own > rv_) {
+            release_locks(writes_.size());
+            scope.respond(
+                Event::resp_abort(id_, history::OpKind::kTryCommit));
+            return false;
+          }
+          continue;
+        }
+        const std::uint64_t v =
+            stm_.slots_[static_cast<std::size_t>(r.obj)].vlock.load(
+                std::memory_order_acquire);
+        if (Tl2Stm::locked(v) || Tl2Stm::version(v) > rv_) {
+          release_locks(writes_.size());
+          scope.respond(Event::resp_abort(id_, history::OpKind::kTryCommit));
+          return false;
+        }
+      }
+    }
+
+    // Write back and release with the new version.
+    for (const WriteEntry& w : writes_) {
+      Tl2Stm::Slot& slot = stm_.slots_[static_cast<std::size_t>(w.obj)];
+      slot.value.store(w.value, std::memory_order_release);
+      slot.vlock.store(Tl2Stm::make_unlocked(wv), std::memory_order_release);
+    }
+    scope.respond(Event::resp_commit(id_));
+    return true;
+  }
+
+  void abort() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_trya(id_));
+    finished_ = true;
+    scope.respond(Event::resp_abort(id_, history::OpKind::kTryAbort));
+  }
+
+  bool finished() const override { return finished_; }
+
+ private:
+  bool lock_slot(ObjId obj) {
+    Tl2Stm::Slot& slot = stm_.slots_[static_cast<std::size_t>(obj)];
+    for (int spin = 0; spin < stm_.options_.lock_spin_limit; ++spin) {
+      std::uint64_t v = slot.vlock.load(std::memory_order_acquire);
+      if (!Tl2Stm::locked(v)) {
+        if (slot.vlock.compare_exchange_weak(
+                v, Tl2Stm::make_locked(Tl2Stm::version(v)),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          lock_versions_.push_back(Tl2Stm::version(v));
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// If this transaction holds obj's write lock, the version the slot had
+  /// before we locked it (writes_ and lock_versions_ are parallel after the
+  /// sort in commit()).
+  std::optional<std::uint64_t> owned_version(ObjId obj) const {
+    for (std::size_t i = 0; i < lock_versions_.size(); ++i)
+      if (writes_[i].obj == obj) return lock_versions_[i];
+    return std::nullopt;
+  }
+
+  const Value* find_write(ObjId obj) const {
+    for (const WriteEntry& w : writes_)
+      if (w.obj == obj) return &w.value;
+    return nullptr;
+  }
+
+  bool read_recorded(ObjId obj) const {
+    for (const ObjId o : recorded_reads_)
+      if (o == obj) return true;
+    return false;
+  }
+
+  /// Release the first `n` acquired locks, restoring their old versions.
+  void release_locks(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Tl2Stm::Slot& slot =
+          stm_.slots_[static_cast<std::size_t>(writes_[i].obj)];
+      slot.vlock.store(Tl2Stm::make_unlocked(lock_versions_[i]),
+                       std::memory_order_release);
+    }
+    lock_versions_.clear();
+  }
+
+  Tl2Stm& stm_;
+  const TxnId id_;
+  const std::uint64_t rv_;
+  std::vector<ReadEntry> reads_;
+  std::vector<WriteEntry> writes_;
+  std::vector<std::pair<ObjId, Value>> read_cache_;
+  std::vector<ObjId> recorded_reads_;
+  std::vector<std::uint64_t> lock_versions_;
+  bool finished_ = false;
+};
+
+Tl2Stm::Tl2Stm(ObjId num_objects, Recorder* recorder, Tl2Options options)
+    : num_objects_(num_objects),
+      recorder_(recorder),
+      options_(options),
+      slots_(static_cast<std::size_t>(num_objects)) {
+  DUO_EXPECTS(num_objects >= 1);
+}
+
+std::unique_ptr<Transaction> Tl2Stm::begin() {
+  return std::make_unique<Tl2Transaction>(
+      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Value Tl2Stm::sample_committed(ObjId obj) const {
+  DUO_EXPECTS(obj >= 0 && obj < num_objects_);
+  return slots_[static_cast<std::size_t>(obj)].value.load(
+      std::memory_order_acquire);
+}
+
+std::string Tl2Stm::name() const {
+  std::string n = "TL2";
+  if (options_.faulty_skip_read_validation) n += "+no-read-validation";
+  if (options_.faulty_skip_commit_validation) n += "+no-commit-validation";
+  return n;
+}
+
+}  // namespace duo::stm

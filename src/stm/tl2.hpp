@@ -1,0 +1,67 @@
+// TL2 (Dice, Shalev, Shavit, DISC 2006): the canonical deferred-update STM.
+//
+// Global version clock + per-object versioned write-locks. Reads are
+// invisible and post-validated against the transaction's read version;
+// writes are buffered (deferred update!) and written back at commit under
+// per-object locks after read-set validation. Recorded histories of the
+// unmodified algorithm are du-opaque — experiment E11.
+//
+// Fault-injection knobs (Tl2Options) disable individual validation steps to
+// produce the classic TM bugs (doomed reads, lost updates); the checkers
+// must flag the resulting histories — experiment E15.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace duo::stm {
+
+struct Tl2Options {
+  /// Skip the per-read version post-validation (doomed/torn reads).
+  bool faulty_skip_read_validation = false;
+  /// Skip the read-set validation at commit time (lost updates).
+  bool faulty_skip_commit_validation = false;
+  /// Bounded spin iterations when acquiring write locks before aborting.
+  int lock_spin_limit = 256;
+};
+
+class Tl2Stm final : public Stm {
+ public:
+  Tl2Stm(ObjId num_objects, Recorder* recorder = nullptr,
+         Tl2Options options = {});
+
+  std::unique_ptr<Transaction> begin() override;
+  Value sample_committed(ObjId obj) const override;
+  ObjId num_objects() const override { return num_objects_; }
+  std::string name() const override;
+
+ private:
+  friend class Tl2Transaction;
+
+  struct alignas(64) Slot {
+    /// Low bit: locked; remaining bits: version (shifted left by 1).
+    std::atomic<std::uint64_t> vlock{0};
+    std::atomic<Value> value{0};
+  };
+
+  static bool locked(std::uint64_t v) noexcept { return v & 1u; }
+  static std::uint64_t version(std::uint64_t v) noexcept { return v >> 1; }
+  static std::uint64_t make_locked(std::uint64_t v) noexcept {
+    return (v << 1) | 1u;
+  }
+  static std::uint64_t make_unlocked(std::uint64_t v) noexcept {
+    return v << 1;
+  }
+
+  const ObjId num_objects_;
+  Recorder* const recorder_;
+  const Tl2Options options_;
+  std::atomic<std::uint64_t> global_clock_{0};
+  std::atomic<TxnId> next_txn_id_{1};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace duo::stm

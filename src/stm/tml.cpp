@@ -1,0 +1,142 @@
+#include "stm/tml.hpp"
+
+#include <thread>
+
+namespace duo::stm {
+
+class TmlTransaction final : public Transaction {
+ public:
+  TmlTransaction(TmlStm& stm, TxnId id) : stm_(stm), id_(id) {
+    // Wait for a writer-free lock value; yield so a descheduled writer can
+    // finish (essential on machines with fewer cores than threads).
+    while (true) {
+      lv_ = stm_.glock_.load(std::memory_order_acquire);
+      if ((lv_ & 1u) == 0) break;
+      std::this_thread::yield();
+    }
+  }
+
+  std::optional<Value> read(ObjId obj) override {
+    DUO_EXPECTS(!finished_);
+    if (!writer_) {
+      for (const auto& [o, v] : read_cache_)
+        if (o == obj) return v;  // repeat read
+    }
+    const bool record_event = !read_recorded(obj);
+    if (writer_) {
+      // We hold the global lock: memory is our private state.
+      const Value v = stm_.values_[static_cast<std::size_t>(obj)].load(
+          std::memory_order_acquire);
+      if (record_event) {
+        OpScope scope(stm_.recorder_, Event::inv_read(id_, obj));
+        scope.respond(Event::resp_read(id_, obj, v));
+        recorded_reads_.push_back(obj);
+      }
+      return v;
+    }
+
+    OpScope scope(stm_.recorder_, Event::inv_read(id_, obj));
+    recorded_reads_.push_back(obj);
+    const Value v = stm_.values_[static_cast<std::size_t>(obj)].load(
+        std::memory_order_acquire);
+    if (stm_.glock_.load(std::memory_order_acquire) != lv_) {
+      // A writer became active (or committed) since we began: the value may
+      // be uncommitted or inconsistent with earlier reads — abort.
+      finished_ = true;
+      scope.respond(Event::resp_abort(id_, history::OpKind::kRead, obj));
+      return std::nullopt;
+    }
+    read_cache_.emplace_back(obj, v);
+    scope.respond(Event::resp_read(id_, obj, v));
+    return v;
+  }
+
+  bool write(ObjId obj, Value v) override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_write(id_, obj, v));
+    if (!writer_) {
+      std::uint64_t expected = lv_;
+      if (!stm_.glock_.compare_exchange_strong(expected, lv_ + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+        finished_ = true;
+        scope.respond(Event::resp_abort(id_, history::OpKind::kWrite, obj));
+        return false;
+      }
+      writer_ = true;
+      lv_ += 1;
+    }
+    auto& slot = stm_.values_[static_cast<std::size_t>(obj)];
+    undo_.emplace_back(obj, slot.load(std::memory_order_relaxed));
+    slot.store(v, std::memory_order_release);
+    scope.respond(Event::resp_write_ok(id_, obj));
+    return true;
+  }
+
+  bool commit() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
+    finished_ = true;
+    if (writer_) {
+      stm_.glock_.store(lv_ + 1, std::memory_order_release);
+    }
+    // Read-only transactions validated every read against lv_, so their
+    // reads form a snapshot at begin time; nothing further to check.
+    scope.respond(Event::resp_commit(id_));
+    return true;
+  }
+
+  void abort() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_trya(id_));
+    finished_ = true;
+    if (writer_) {
+      // Roll back in reverse order and release the lock with a new even
+      // value so concurrent readers conservatively abort.
+      for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+        stm_.values_[static_cast<std::size_t>(it->first)].store(
+            it->second, std::memory_order_release);
+      stm_.glock_.store(lv_ + 1, std::memory_order_release);
+    }
+    scope.respond(Event::resp_abort(id_, history::OpKind::kTryAbort));
+  }
+
+  bool finished() const override { return finished_; }
+
+ private:
+  bool read_recorded(ObjId obj) const {
+    for (const ObjId o : recorded_reads_)
+      if (o == obj) return true;
+    return false;
+  }
+
+  TmlStm& stm_;
+  const TxnId id_;
+  std::uint64_t lv_ = 0;
+  bool writer_ = false;
+  std::vector<std::pair<ObjId, Value>> read_cache_;
+  std::vector<ObjId> recorded_reads_;
+  std::vector<std::pair<ObjId, Value>> undo_;
+  bool finished_ = false;
+};
+
+TmlStm::TmlStm(ObjId num_objects, Recorder* recorder)
+    : num_objects_(num_objects),
+      recorder_(recorder),
+      values_(static_cast<std::size_t>(num_objects)) {
+  DUO_EXPECTS(num_objects >= 1);
+  for (auto& v : values_) v.store(0, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Transaction> TmlStm::begin() {
+  return std::make_unique<TmlTransaction>(
+      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Value TmlStm::sample_committed(ObjId obj) const {
+  DUO_EXPECTS(obj >= 0 && obj < num_objects_);
+  return values_[static_cast<std::size_t>(obj)].load(
+      std::memory_order_acquire);
+}
+
+}  // namespace duo::stm

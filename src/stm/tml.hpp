@@ -1,0 +1,41 @@
+// TML — Transactional Mutex Lock (Dalessandro, Dice, Scott, Shavit, Spear):
+// a minimal STM with a single global versioned lock. Writers serialize and
+// update in place (with an undo log for explicit tryA); readers validate the
+// global lock after every read and abort on any concurrent writer activity.
+// In-place updates notwithstanding, a read never *returns* a value written
+// by a transaction that has not started committing... in fact TML aborts any
+// read that could have observed a concurrent writer, so recorded histories
+// remain du-opaque — a useful contrast with the pessimistic STM, whose
+// unvalidated reads break du-opacity.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace duo::stm {
+
+class TmlStm final : public Stm {
+ public:
+  explicit TmlStm(ObjId num_objects, Recorder* recorder = nullptr);
+
+  std::unique_ptr<Transaction> begin() override;
+  Value sample_committed(ObjId obj) const override;
+  ObjId num_objects() const override { return num_objects_; }
+  std::string name() const override { return "TML"; }
+
+ private:
+  friend class TmlTransaction;
+
+  const ObjId num_objects_;
+  Recorder* const recorder_;
+  /// Even: no writer; odd: a writer transaction is active.
+  std::atomic<std::uint64_t> glock_{0};
+  std::atomic<TxnId> next_txn_id_{1};
+  std::vector<std::atomic<Value>> values_;
+};
+
+}  // namespace duo::stm

@@ -1,0 +1,215 @@
+#include "stm/workload.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/threading.hpp"
+#include "util/zipf.hpp"
+
+namespace duo::stm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Picks `k` distinct objects using the zipf sampler.
+std::vector<ObjId> pick_objects(util::Zipf& zipf, util::Xoshiro256& rng,
+                                int k, ObjId num_objects) {
+  std::vector<ObjId> out;
+  const int limit = std::min<int>(k, num_objects);
+  while (static_cast<int>(out.size()) < limit) {
+    const auto obj = static_cast<ObjId>(zipf(rng));
+    bool dup = false;
+    for (const ObjId o : out) dup |= (o == obj);
+    if (!dup) out.push_back(obj);
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkloadStats run_random_mix(Stm& stm, const WorkloadOptions& opts) {
+  std::atomic<std::uint64_t> committed{0}, aborted{0}, abandoned{0};
+  const auto start = Clock::now();
+
+  util::run_threads(opts.threads, [&](std::size_t tid) {
+    util::Xoshiro256 rng(opts.seed * 0x9e37u + tid);
+    util::Zipf zipf(static_cast<std::size_t>(stm.num_objects()),
+                    opts.zipf_theta);
+    for (std::size_t i = 0; i < opts.txns_per_thread; ++i) {
+      const auto objects =
+          pick_objects(zipf, rng, opts.ops_per_txn, stm.num_objects());
+      // Globally unique write value: thread, txn, attempt and op index
+      // encoded (a retry is a fresh transaction, so it must write fresh
+      // values for the history to stay unique-write).
+      const Value base = static_cast<Value>((tid + 1) * 1'000'000'000ULL +
+                                            (i + 1) * 100'000ULL);
+      std::uint64_t attempt_aborts = 0;
+      Value attempt = 0;
+      const bool ok = atomically(
+          stm,
+          [&](Transaction& tx) {
+            Value op_seq = (attempt++) * 100;
+            for (const ObjId obj : objects) {
+              if (rng.chance(opts.write_fraction)) {
+                if (!tx.write(obj, base + op_seq++)) {
+                  ++attempt_aborts;
+                  return Step::kRetry;
+                }
+              } else {
+                if (!tx.read(obj)) {
+                  ++attempt_aborts;
+                  return Step::kRetry;
+                }
+              }
+            }
+            return Step::kCommit;
+          },
+          opts.max_attempts);
+      aborted.fetch_add(attempt_aborts, std::memory_order_relaxed);
+      (ok ? committed : abandoned).fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  WorkloadStats stats;
+  stats.committed = committed.load();
+  stats.aborted = aborted.load();
+  stats.abandoned = abandoned.load();
+  stats.seconds = elapsed_seconds(start);
+  return stats;
+}
+
+WorkloadStats run_counters(Stm& stm, const WorkloadOptions& opts) {
+  std::atomic<std::uint64_t> committed{0}, aborted{0}, abandoned{0};
+  const auto start = Clock::now();
+
+  util::run_threads(opts.threads, [&](std::size_t tid) {
+    util::Xoshiro256 rng(opts.seed * 0x51edu + tid);
+    util::Zipf zipf(static_cast<std::size_t>(stm.num_objects()),
+                    opts.zipf_theta);
+    for (std::size_t i = 0; i < opts.txns_per_thread; ++i) {
+      const auto obj = static_cast<ObjId>(zipf(rng));
+      std::uint64_t attempt_aborts = 0;
+      const bool ok = atomically(
+          stm,
+          [&](Transaction& tx) {
+            const auto v = tx.read(obj);
+            if (!v || !tx.write(obj, *v + 1)) {
+              ++attempt_aborts;
+              return Step::kRetry;
+            }
+            return Step::kCommit;
+          },
+          opts.max_attempts);
+      aborted.fetch_add(attempt_aborts, std::memory_order_relaxed);
+      (ok ? committed : abandoned).fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  WorkloadStats stats;
+  stats.committed = committed.load();
+  stats.aborted = aborted.load();
+  stats.abandoned = abandoned.load();
+  stats.seconds = elapsed_seconds(start);
+  return stats;
+}
+
+bool counters_sum_ok(Stm& stm, const WorkloadStats& stats) {
+  Value total = 0;
+  for (ObjId x = 0; x < stm.num_objects(); ++x)
+    total += stm.sample_committed(x);
+  return total == static_cast<Value>(stats.committed);
+}
+
+BankStats run_bank(Stm& stm, const WorkloadOptions& opts,
+                   Value initial_balance) {
+  BankStats stats;
+  const ObjId accounts = stm.num_objects();
+  // Seed balances in one transaction.
+  const bool seeded = atomically(stm, [&](Transaction& tx) {
+    for (ObjId a = 0; a < accounts; ++a)
+      if (!tx.write(a, initial_balance)) return Step::kRetry;
+    return Step::kCommit;
+  });
+  DUO_ASSERT(seeded);
+  const Value expected_total =
+      initial_balance * static_cast<Value>(accounts);
+
+  std::atomic<std::uint64_t> committed{0}, aborted{0}, abandoned{0};
+  std::atomic<std::uint64_t> audits{0}, broken{0};
+  const auto start = Clock::now();
+
+  util::run_threads(opts.threads, [&](std::size_t tid) {
+    util::Xoshiro256 rng(opts.seed * 0xbaULL + tid);
+    for (std::size_t i = 0; i < opts.txns_per_thread; ++i) {
+      std::uint64_t attempt_aborts = 0;
+      const bool audit = rng.chance(0.2);
+      bool ok;
+      if (audit) {
+        Value seen_total = 0;
+        ok = atomically(
+            stm,
+            [&](Transaction& tx) {
+              seen_total = 0;
+              for (ObjId a = 0; a < accounts; ++a) {
+                const auto v = tx.read(a);
+                if (!v) {
+                  ++attempt_aborts;
+                  return Step::kRetry;
+                }
+                seen_total += *v;
+              }
+              return Step::kCommit;
+            },
+            opts.max_attempts);
+        if (ok) {
+          audits.fetch_add(1, std::memory_order_relaxed);
+          if (seen_total != expected_total)
+            broken.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        const auto from = static_cast<ObjId>(rng.below(
+            static_cast<std::uint64_t>(accounts)));
+        auto to = static_cast<ObjId>(rng.below(
+            static_cast<std::uint64_t>(accounts)));
+        if (to == from) to = static_cast<ObjId>((to + 1) % accounts);
+        const Value amount = static_cast<Value>(rng.range(1, 10));
+        ok = atomically(
+            stm,
+            [&](Transaction& tx) {
+              // Short-circuit after every operation: once one aborts, the
+              // transaction is finished and must not be used further.
+              const auto f = tx.read(from);
+              if (!f) {
+                ++attempt_aborts;
+                return Step::kRetry;
+              }
+              const auto t = tx.read(to);
+              if (!t || !tx.write(from, *f - amount) ||
+                  !tx.write(to, *t + amount)) {
+                ++attempt_aborts;
+                return Step::kRetry;
+              }
+              return Step::kCommit;
+            },
+            opts.max_attempts);
+      }
+      aborted.fetch_add(attempt_aborts, std::memory_order_relaxed);
+      (ok ? committed : abandoned).fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  stats.committed = committed.load();
+  stats.aborted = aborted.load();
+  stats.abandoned = abandoned.load();
+  stats.seconds = elapsed_seconds(start);
+  stats.audits = audits.load();
+  stats.broken_audits = broken.load();
+  return stats;
+}
+
+}  // namespace duo::stm

@@ -1,0 +1,44 @@
+#include "txdata/txqueue.hpp"
+
+#include "util/assert.hpp"
+
+namespace duo::txdata {
+
+TxQueue::TxQueue(ObjId base, ObjId capacity)
+    : base_(base), capacity_(capacity) {
+  DUO_EXPECTS(base >= 0);
+  DUO_EXPECTS(capacity >= 1);
+}
+
+std::optional<bool> TxQueue::enqueue(Transaction& tx, Value v) const {
+  const auto h = tx.read(head());
+  if (!h) return std::nullopt;
+  const auto t = tx.read(tail());
+  if (!t) return std::nullopt;
+  if (*t - *h >= static_cast<Value>(capacity_)) return false;  // full
+  if (!tx.write(cell(*t), v)) return std::nullopt;
+  if (!tx.write(tail(), *t + 1)) return std::nullopt;
+  return true;
+}
+
+std::optional<std::optional<Value>> TxQueue::dequeue(Transaction& tx) const {
+  const auto h = tx.read(head());
+  if (!h) return std::nullopt;
+  const auto t = tx.read(tail());
+  if (!t) return std::nullopt;
+  if (*h == *t) return std::optional<Value>{};  // empty
+  const auto v = tx.read(cell(*h));
+  if (!v) return std::nullopt;
+  if (!tx.write(head(), *h + 1)) return std::nullopt;
+  return std::optional<Value>{*v};
+}
+
+std::optional<Value> TxQueue::size(Transaction& tx) const {
+  const auto h = tx.read(head());
+  if (!h) return std::nullopt;
+  const auto t = tx.read(tail());
+  if (!t) return std::nullopt;
+  return *t - *h;
+}
+
+}  // namespace duo::txdata

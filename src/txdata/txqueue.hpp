@@ -1,0 +1,50 @@
+// Transactional bounded FIFO queue over the word-based STM API.
+//
+// Ring buffer across a contiguous t-object range: [head, tail,
+// slot_0 .. slot_{n-1}]. head/tail are monotone counters; an element lives
+// at slot (index % n). Composes with any other transactional operations in
+// the same transaction.
+#pragma once
+
+#include <optional>
+
+#include "stm/api.hpp"
+
+namespace duo::txdata {
+
+using stm::ObjId;
+using stm::Transaction;
+using stm::Value;
+
+class TxQueue {
+ public:
+  /// Uses objects [base, base + 2 + capacity).
+  TxQueue(ObjId base, ObjId capacity);
+
+  /// nullopt = transaction aborted (retry); false = queue full.
+  std::optional<bool> enqueue(Transaction& tx, Value v) const;
+
+  /// Outer nullopt = aborted; inner nullopt = queue empty.
+  std::optional<std::optional<Value>> dequeue(Transaction& tx) const;
+
+  /// Current element count.
+  std::optional<Value> size(Transaction& tx) const;
+
+  ObjId capacity() const noexcept { return capacity_; }
+  /// Total objects consumed, for layout planning.
+  static ObjId footprint(ObjId capacity) noexcept { return capacity + 2; }
+
+ private:
+  ObjId head() const noexcept { return base_; }
+  ObjId tail() const noexcept { return base_ + 1; }
+  ObjId cell(Value index) const noexcept {
+    return base_ + 2 +
+           static_cast<ObjId>(static_cast<std::uint64_t>(index) %
+                              static_cast<std::uint64_t>(capacity_));
+  }
+
+  ObjId base_;
+  ObjId capacity_;
+};
+
+}  // namespace duo::txdata

@@ -1,0 +1,79 @@
+#include "txdata/txset.hpp"
+
+#include "util/assert.hpp"
+
+namespace duo::txdata {
+
+TxHashSet::TxHashSet(ObjId base, ObjId capacity)
+    : base_(base), capacity_(capacity) {
+  DUO_EXPECTS(base >= 0);
+  DUO_EXPECTS(capacity >= 1);
+}
+
+ObjId TxHashSet::slot(Value v, ObjId probe) const noexcept {
+  // Fibonacci hashing of the value, then linear probing.
+  const auto h = static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  return base_ + static_cast<ObjId>(
+                     (h + static_cast<std::uint64_t>(probe)) %
+                     static_cast<std::uint64_t>(capacity_));
+}
+
+std::optional<bool> TxHashSet::insert(Transaction& tx, Value v) const {
+  DUO_EXPECTS(v > 0);
+  std::optional<ObjId> first_free;
+  for (ObjId probe = 0; probe < capacity_; ++probe) {
+    const ObjId s = slot(v, probe);
+    const auto cur = tx.read(s);
+    if (!cur) return std::nullopt;  // aborted
+    if (*cur == v) return false;    // already present
+    if (*cur == kTombstone && !first_free) first_free = s;
+    if (*cur == kEmpty) {
+      const ObjId target = first_free.value_or(s);
+      if (!tx.write(target, v)) return std::nullopt;
+      return true;
+    }
+  }
+  if (first_free) {
+    if (!tx.write(*first_free, v)) return std::nullopt;
+    return true;
+  }
+  return false;  // table full
+}
+
+std::optional<bool> TxHashSet::contains(Transaction& tx, Value v) const {
+  DUO_EXPECTS(v > 0);
+  for (ObjId probe = 0; probe < capacity_; ++probe) {
+    const auto cur = tx.read(slot(v, probe));
+    if (!cur) return std::nullopt;
+    if (*cur == v) return true;
+    if (*cur == kEmpty) return false;
+  }
+  return false;
+}
+
+std::optional<bool> TxHashSet::erase(Transaction& tx, Value v) const {
+  DUO_EXPECTS(v > 0);
+  for (ObjId probe = 0; probe < capacity_; ++probe) {
+    const ObjId s = slot(v, probe);
+    const auto cur = tx.read(s);
+    if (!cur) return std::nullopt;
+    if (*cur == v) {
+      if (!tx.write(s, kTombstone)) return std::nullopt;
+      return true;
+    }
+    if (*cur == kEmpty) return false;
+  }
+  return false;
+}
+
+std::optional<Value> TxHashSet::size(Transaction& tx) const {
+  Value count = 0;
+  for (ObjId i = 0; i < capacity_; ++i) {
+    const auto cur = tx.read(base_ + i);
+    if (!cur) return std::nullopt;
+    if (*cur != kEmpty && *cur != kTombstone) ++count;
+  }
+  return count;
+}
+
+}  // namespace duo::txdata

@@ -1,0 +1,56 @@
+// Transactional hash set over the word-based STM API.
+//
+// An open-addressing (linear probing, tombstone deletion) hash table laid
+// out over a contiguous range of t-objects. All operations are
+// transactional steps usable inside atomically(): they compose with other
+// reads/writes in the same transaction and inherit the STM's isolation —
+// a du-opaque STM yields linearizable set operations.
+//
+// Element domain: values must be positive (0 marks an empty slot, -1 a
+// tombstone).
+#pragma once
+
+#include <optional>
+
+#include "stm/api.hpp"
+
+namespace duo::txdata {
+
+using stm::ObjId;
+using stm::Transaction;
+using stm::Value;
+
+class TxHashSet {
+ public:
+  static constexpr Value kEmpty = 0;
+  static constexpr Value kTombstone = -1;
+
+  /// Uses the object range [base, base + capacity) of the STM the
+  /// transactions operate on. The structure itself is stateless: several
+  /// threads share it by value.
+  TxHashSet(ObjId base, ObjId capacity);
+
+  /// Each returns nullopt if the transaction aborted mid-operation; the
+  /// caller must stop using the transaction and retry (atomically() does).
+  ///
+  /// insert -> true if newly inserted, false if present or table full.
+  std::optional<bool> insert(Transaction& tx, Value v) const;
+  /// contains -> membership.
+  std::optional<bool> contains(Transaction& tx, Value v) const;
+  /// erase -> true if removed, false if absent.
+  std::optional<bool> erase(Transaction& tx, Value v) const;
+
+  /// Number of live elements; reads every slot (a "snapshot" operation —
+  /// the classic opacity stress).
+  std::optional<Value> size(Transaction& tx) const;
+
+  ObjId capacity() const noexcept { return capacity_; }
+
+ private:
+  ObjId slot(Value v, ObjId probe) const noexcept;
+
+  ObjId base_;
+  ObjId capacity_;
+};
+
+}  // namespace duo::txdata

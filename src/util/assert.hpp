@@ -1,0 +1,37 @@
+// Contract-check macros used across the library.
+//
+// These are enabled in all build types: the library's purpose is checking
+// correctness properties, so internal invariant violations must never be
+// silently ignored. The cost is negligible next to the decision procedures.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace duo::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "duo: %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace duo::util
+
+#define DUO_ASSERT(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::duo::util::contract_failure("assertion", #expr, __FILE__,  \
+                                          __LINE__))
+
+#define DUO_EXPECTS(expr)                                                 \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::duo::util::contract_failure("precondition", #expr,         \
+                                          __FILE__, __LINE__))
+
+#define DUO_ENSURES(expr)                                                 \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::duo::util::contract_failure("postcondition", #expr,        \
+                                          __FILE__, __LINE__))
+
+#define DUO_UNREACHABLE(msg)                                              \
+  ::duo::util::contract_failure("unreachable", msg, __FILE__, __LINE__)

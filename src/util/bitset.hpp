@@ -1,0 +1,124 @@
+// Dynamic bitset keyed by small integer ids (transactions, t-objects).
+//
+// The checker's memoization tables key on sets of placed transactions, so
+// the bitset provides cheap hashing and set algebra over 64-bit blocks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace duo::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits)
+      : nbits_(nbits), blocks_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return nbits_; }
+
+  bool test(std::size_t i) const noexcept {
+    DUO_EXPECTS(i < nbits_);
+    return (blocks_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) noexcept {
+    DUO_EXPECTS(i < nbits_);
+    blocks_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void reset(std::size_t i) noexcept {
+    DUO_EXPECTS(i < nbits_);
+    blocks_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void clear() noexcept {
+    for (auto& b : blocks_) b = 0;
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto b : blocks_) c += static_cast<std::size_t>(__builtin_popcountll(b));
+    return c;
+  }
+
+  bool none() const noexcept {
+    for (auto b : blocks_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  bool any() const noexcept { return !none(); }
+
+  /// True when every bit set in *this is also set in other.
+  bool is_subset_of(const DynamicBitset& other) const noexcept {
+    DUO_EXPECTS(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+      if ((blocks_[i] & ~other.blocks_[i]) != 0) return false;
+    return true;
+  }
+
+  bool intersects(const DynamicBitset& other) const noexcept {
+    DUO_EXPECTS(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+      if ((blocks_[i] & other.blocks_[i]) != 0) return true;
+    return false;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& other) noexcept {
+    DUO_EXPECTS(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+      blocks_[i] |= other.blocks_[i];
+    return *this;
+  }
+
+  DynamicBitset& operator&=(const DynamicBitset& other) noexcept {
+    DUO_EXPECTS(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+      blocks_[i] &= other.blocks_[i];
+    return *this;
+  }
+
+  friend bool operator==(const DynamicBitset& a,
+                         const DynamicBitset& b) noexcept {
+    return a.nbits_ == b.nbits_ && a.blocks_ == b.blocks_;
+  }
+
+  std::size_t hash() const noexcept {
+    // FNV-1a over blocks; adequate for memo tables.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (auto b : blocks_) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  /// Invoke f(i) for every set bit i in increasing order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t blk = 0; blk < blocks_.size(); ++blk) {
+      std::uint64_t bits = blocks_[blk];
+      while (bits != 0) {
+        const int tz = __builtin_ctzll(bits);
+        f(blk * 64 + static_cast<std::size_t>(tz));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> blocks_;
+};
+
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const noexcept {
+    return b.hash();
+  }
+};
+
+}  // namespace duo::util

@@ -1,0 +1,22 @@
+// Tiny string helpers shared by printers and parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace duo::util {
+
+/// Join the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split on a single-character separator; empty tokens are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace duo::util

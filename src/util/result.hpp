@@ -1,0 +1,67 @@
+// Minimal value-or-error-string result type.
+//
+// Parsers and validators return Result<T> so malformed inputs surface as
+// diagnostics rather than aborts; internal invariants still use DUO_ASSERT.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace duo::util {
+
+template <typename T>
+class Result {
+ public:
+  static Result ok(T value) {
+    Result r;
+    r.value_ = std::move(value);
+    return r;
+  }
+
+  static Result error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  const T& value() const& {
+    DUO_EXPECTS(has_value());
+    return *value_;
+  }
+  T& value() & {
+    DUO_EXPECTS(has_value());
+    return *value_;
+  }
+  T&& take() && {
+    DUO_EXPECTS(has_value());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    DUO_EXPECTS(!has_value());
+    return error_;
+  }
+
+  /// Unwrap or abort with the stored diagnostic; for tests and examples
+  /// where the input is expected to be valid.
+  T&& value_or_die() && {
+    if (!has_value()) {
+      std::fprintf(stderr, "duo: Result::value_or_die: %s\n", error_.c_str());
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace duo::util

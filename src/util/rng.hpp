@@ -1,0 +1,122 @@
+// Deterministic, fast pseudo-random generators.
+//
+// All randomized tests and generators in this project take explicit seeds so
+// every run is reproducible. We use SplitMix64 for seeding and Xoshiro256**
+// for bulk generation (both public-domain algorithms by Blackman/Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace duo::util {
+
+/// SplitMix64: tiny generator mainly used to expand a 64-bit seed into the
+/// state of a larger generator. Passes BigCrush when used standalone.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: general-purpose 64-bit generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    DUO_EXPECTS(bound > 0);
+    // Lemire's multiply-shift rejection method: unbiased and fast.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    DUO_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return unit() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher-Yates shuffle of a random-access container.
+template <typename Container>
+void shuffle(Container& c, Xoshiro256& rng) {
+  const auto n = c.size();
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i + 1));
+    using std::swap;
+    swap(c[i], c[j]);
+  }
+}
+
+/// Pick a uniformly random element (container must be non-empty).
+template <typename Container>
+auto& pick(Container& c, Xoshiro256& rng) {
+  DUO_EXPECTS(!c.empty());
+  return c[static_cast<std::size_t>(rng.below(c.size()))];
+}
+
+}  // namespace duo::util

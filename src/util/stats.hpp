@@ -1,0 +1,45 @@
+// Small statistics accumulators for benchmark reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duo::util {
+
+/// Online mean/min/max/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples and answers percentile queries (sorts lazily).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  /// p in [0, 100]; returns 0 for an empty sample set.
+  double percentile(double p);
+  double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace duo::util

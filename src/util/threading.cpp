@@ -1,0 +1,21 @@
+#include "util/threading.hpp"
+
+#include "util/assert.hpp"
+
+namespace duo::util {
+
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  DUO_EXPECTS(n > 0);
+  SpinBarrier barrier(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      barrier.arrive_and_wait();
+      body(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace duo::util

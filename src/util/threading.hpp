@@ -1,0 +1,47 @@
+// Thread coordination helpers for multithreaded STM tests and benchmarks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace duo::util {
+
+/// Reusable barrier with a spin phase: benchmark threads should start work
+/// as close to simultaneously as possible. Falls back to yielding after a
+/// bounded spin so oversubscribed (fewer cores than threads) machines make
+/// progress.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), waiting_(0), generation_(0) {}
+
+  void arrive_and_wait() noexcept {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins > 1024) std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_;
+  std::atomic<std::uint64_t> generation_;
+};
+
+/// Runs `body(thread_index)` on `n` threads, synchronizing the start with a
+/// barrier, and joins them all before returning. Exceptions in workers are
+/// fatal by design (tests must not swallow them silently).
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace duo::util

@@ -1,0 +1,29 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace duo::util {
+
+Zipf::Zipf(std::size_t n, double theta) : theta_(theta) {
+  DUO_EXPECTS(n > 0);
+  DUO_EXPECTS(theta >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against floating point shortfall
+}
+
+std::size_t Zipf::operator()(Xoshiro256& rng) const {
+  const double u = rng.unit();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace duo::util

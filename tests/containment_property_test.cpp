@@ -1,0 +1,92 @@
+// Experiment E9: the containment structure of §4 on random history
+// populations — du ⇒ opaque ⇒ final-state (Thm. 10 / Def. 5), rco ⇒ du
+// (§4.2), final-state ⇒ committed projection serializable. Also verifies
+// that the strict containment du ⊊ opacity is *witnessed* (Proposition 2):
+// the corpus plus Figure 4 must exhibit at least one opaque-but-not-du
+// history.
+#include <gtest/gtest.h>
+
+#include "checker/du_opacity.hpp"
+#include "checker/opacity.hpp"
+#include "checker/rco_opacity.hpp"
+#include "checker/strict_serializability.hpp"
+#include "checker/verdict.hpp"
+#include "gen/generator.hpp"
+#include "history/figures.hpp"
+#include "history/printer.hpp"
+
+namespace duo::checker {
+namespace {
+
+class ContainmentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContainmentProperty, ImplicationsHoldOnRandomCorpus) {
+  util::Xoshiro256 rng(GetParam());
+  gen::GenOptions opts;
+  opts.num_txns = 5;
+  opts.num_objects = 2;
+  opts.value_range = 2;
+
+  for (int iter = 0; iter < 15; ++iter) {
+    const gen::History h = [&] {
+      switch (iter % 3) {
+        case 0: return gen::random_du_history(opts, rng);
+        case 1: return gen::random_history(opts, rng);
+        default: return gen::mutate(gen::random_du_history(opts, rng), rng);
+      }
+    }();
+    const auto v = evaluate_all(h);
+    EXPECT_EQ(containment_violations(v), "")
+        << history::compact(h) << "\n" << v.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentProperty,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull,
+                                           66ull, 77ull, 88ull, 99ull,
+                                           111ull));
+
+TEST(Containment, StrictSeparationWitnessed) {
+  // Proposition 2's separation must be demonstrable: Figure 4 plus any
+  // corpus-found witnesses.
+  const auto h = history::figures::fig4();
+  EXPECT_TRUE(check_opacity(h).yes());
+  EXPECT_TRUE(check_du_opacity(h).no());
+}
+
+TEST(Containment, SeparationAppearsInMutatedCorpus) {
+  // Hunt for additional opaque-but-not-du witnesses among mutants; we only
+  // require that the search terminates and containments hold, and we report
+  // how many separations the corpus produced (shape reproduction: they must
+  // be rare but non-pathological).
+  util::Xoshiro256 rng(20260610);
+  gen::GenOptions opts;
+  opts.num_txns = 4;
+  opts.num_objects = 2;
+  opts.value_range = 2;
+  int separations = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    auto h = gen::mutate(gen::random_du_history(opts, rng), rng);
+    const auto du = check_du_opacity(h);
+    if (du.yes()) continue;
+    const auto op = check_opacity(h);
+    if (op.yes()) ++separations;
+  }
+  RecordProperty("opaque_but_not_du", separations);
+  SUCCEED() << "separations found: " << separations;
+}
+
+TEST(Containment, RcoImpliesDuOnHandCases) {
+  // rco ⇒ du formally (see rco_opacity.hpp discussion): verified on random
+  // corpus above; here on the figures where rco is yes.
+  for (const auto& h :
+       {history::figures::fig2(5), history::figures::fig6()}) {
+    const auto rco = check_rco_opacity(h);
+    const auto du = check_du_opacity(h);
+    ASSERT_TRUE(rco.yes());
+    EXPECT_TRUE(du.yes());
+  }
+}
+
+}  // namespace
+}  // namespace duo::checker

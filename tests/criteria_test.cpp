@@ -1,0 +1,97 @@
+// Coverage for the small shared vocabulary types: criterion/verdict names,
+// event rendering, the Result type, and the verdict-vector containment
+// report — the pieces every harness output flows through.
+#include <gtest/gtest.h>
+
+#include "checker/criteria.hpp"
+#include "checker/verdict.hpp"
+#include "history/event.hpp"
+#include "util/result.hpp"
+
+namespace duo {
+namespace {
+
+TEST(Criteria, NamesAreStable) {
+  using checker::Criterion;
+  EXPECT_EQ(checker::to_string(Criterion::kFinalStateOpacity),
+            "final-state-opacity");
+  EXPECT_EQ(checker::to_string(Criterion::kOpacity), "opacity");
+  EXPECT_EQ(checker::to_string(Criterion::kDuOpacity), "du-opacity");
+  EXPECT_EQ(checker::to_string(Criterion::kRcoOpacity), "rco-opacity");
+  EXPECT_EQ(checker::to_string(Criterion::kTms2), "TMS2");
+  EXPECT_EQ(checker::to_string(Criterion::kStrictSerializability),
+            "strict-serializability");
+}
+
+TEST(Criteria, VerdictNames) {
+  using checker::Verdict;
+  EXPECT_EQ(checker::to_string(Verdict::kYes), "yes");
+  EXPECT_EQ(checker::to_string(Verdict::kNo), "no");
+  EXPECT_EQ(checker::to_string(Verdict::kUnknown), "unknown");
+}
+
+TEST(VerdictVector, RendersAllFields) {
+  checker::VerdictVector v;
+  v.final_state = checker::Verdict::kYes;
+  v.du_opaque = checker::Verdict::kNo;
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("FSO=yes"), std::string::npos);
+  EXPECT_NE(s.find("du=no"), std::string::npos);
+  EXPECT_NE(s.find("tms2=unknown"), std::string::npos);
+}
+
+TEST(VerdictVector, ContainmentIgnoresUnknown) {
+  checker::VerdictVector v;  // everything unknown
+  EXPECT_EQ(checker::containment_violations(v), "");
+  v.du_opaque = checker::Verdict::kYes;
+  v.opaque = checker::Verdict::kUnknown;
+  EXPECT_EQ(checker::containment_violations(v), "");
+  v.opaque = checker::Verdict::kNo;
+  EXPECT_NE(checker::containment_violations(v).find("Thm. 10"),
+            std::string::npos);
+}
+
+TEST(EventRendering, AllShapes) {
+  using history::Event;
+  using history::OpKind;
+  EXPECT_EQ(history::to_string(Event::inv_read(2, 0)), "inv R2(X0)");
+  EXPECT_EQ(history::to_string(Event::resp_read(2, 0, 7)), "resp R2(X0)->7");
+  EXPECT_EQ(history::to_string(Event::resp_abort(2, OpKind::kRead, 0)),
+            "resp R2(X0)->A");
+  EXPECT_EQ(history::to_string(Event::inv_write(1, 3, -4)),
+            "inv W1(X3,-4)");
+  EXPECT_EQ(history::to_string(Event::resp_write_ok(1, 3)),
+            "resp W1(X3)->ok");
+  EXPECT_EQ(history::to_string(Event::inv_tryc(5)), "inv tryC5");
+  EXPECT_EQ(history::to_string(Event::resp_commit(5)), "resp tryC5->C");
+  EXPECT_EQ(history::to_string(Event::resp_abort(5, OpKind::kTryCommit)),
+            "resp tryC5->A");
+  EXPECT_EQ(history::to_string(Event::inv_trya(6)), "inv tryA6");
+  EXPECT_EQ(history::to_string(Event::resp_abort(6, OpKind::kTryAbort)),
+            "resp tryA6->A");
+}
+
+TEST(EventRendering, StatusNames) {
+  using history::TxnStatus;
+  EXPECT_EQ(history::to_string(TxnStatus::kCommitted), "committed");
+  EXPECT_EQ(history::to_string(TxnStatus::kAborted), "aborted");
+  EXPECT_EQ(history::to_string(TxnStatus::kCommitPending), "commit-pending");
+  EXPECT_EQ(history::to_string(TxnStatus::kRunning), "running");
+  EXPECT_EQ(history::to_string(history::OpKind::kRead), "read");
+  EXPECT_EQ(history::to_string(history::EventKind::kInvocation), "inv");
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  auto ok = util::Result<int>::ok(42);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(std::move(ok).take(), 42);
+
+  auto err = util::Result<int>::error("boom");
+  EXPECT_FALSE(err.has_value());
+  EXPECT_FALSE(static_cast<bool>(err));
+  EXPECT_EQ(err.error(), "boom");
+}
+
+}  // namespace
+}  // namespace duo

@@ -1,0 +1,118 @@
+// Round-trip and error tests for the history text format and printers.
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "history/figures.hpp"
+#include "history/parser.hpp"
+#include "history/printer.hpp"
+
+namespace duo::history {
+namespace {
+
+TEST(Parser, OpLevelTokens) {
+  const History h =
+      parse_history_or_die("W1(X0,1) R2(X0)=1 C1 C2");
+  EXPECT_EQ(h.size(), 8u);
+  EXPECT_EQ(h.num_txns(), 2u);
+  EXPECT_EQ(h.txn(h.tix_of(1)).status, TxnStatus::kCommitted);
+  EXPECT_EQ(h.txn(h.tix_of(2)).status, TxnStatus::kCommitted);
+}
+
+TEST(Parser, EventLevelTokens) {
+  const History h = parse_history_or_die("W1?(X0,1) R2?(X0) W1!(X0) R2!(X0)=0");
+  EXPECT_EQ(h.size(), 4u);
+  const Transaction& t2 = h.txn(h.tix_of(2));
+  EXPECT_EQ(t2.ops[0].result, 0);
+}
+
+TEST(Parser, AbortForms) {
+  const History h = parse_history_or_die(
+      "R1(X0)=A W2(X0,3)=A C3=A A4 W5(X0,1) C5");
+  EXPECT_EQ(h.txn(h.tix_of(1)).status, TxnStatus::kAborted);
+  EXPECT_EQ(h.txn(h.tix_of(2)).status, TxnStatus::kAborted);
+  EXPECT_EQ(h.txn(h.tix_of(3)).status, TxnStatus::kAborted);
+  EXPECT_EQ(h.txn(h.tix_of(4)).status, TxnStatus::kAborted);
+  EXPECT_EQ(h.txn(h.tix_of(5)).status, TxnStatus::kCommitted);
+}
+
+TEST(Parser, PendingTryCommit) {
+  const History h = parse_history_or_die("W1(X0,1) C1?");
+  EXPECT_EQ(h.txn(h.tix_of(1)).status, TxnStatus::kCommitPending);
+}
+
+TEST(Parser, BareObjectNumbers) {
+  const History h = parse_history_or_die("W1(0,1) R2(0)=1 C1");
+  EXPECT_EQ(h.num_objects(), 1);
+}
+
+TEST(Parser, ObjectsDeclaration) {
+  const History h = parse_history_or_die("objects=5 W1(X0,1) C1");
+  EXPECT_EQ(h.num_objects(), 5);
+}
+
+TEST(Parser, NegativeValues) {
+  const History h = parse_history_or_die("W1(X0,-7) C1 R2(X0)=-7");
+  EXPECT_EQ(h.txn(h.tix_of(2)).ops[0].result, -7);
+}
+
+TEST(Parser, ErrorsAreDiagnosed) {
+  EXPECT_FALSE(parse_history("Z1(X0)").has_value());
+  EXPECT_FALSE(parse_history("R(X0)=1").has_value());       // missing txn id
+  EXPECT_FALSE(parse_history("R1(X0)").has_value());        // missing value
+  EXPECT_FALSE(parse_history("W1(X0)").has_value());        // missing arg
+  EXPECT_FALSE(parse_history("R1(X0)=1x").has_value());     // trailing junk
+  EXPECT_FALSE(parse_history("objects=1 W1(X5,1)").has_value());
+  EXPECT_FALSE(parse_history("C1=Q").has_value());
+}
+
+TEST(Parser, MalformedHistoryRejected) {
+  // Syntactically fine but ill-formed: response after commit.
+  EXPECT_FALSE(parse_history("C1 W1(X0,1)").has_value());
+}
+
+TEST(RoundTrip, CompactParsesBack) {
+  const std::vector<std::string> cases = {
+      "W1(X0,1) R2(X0)=1 C1 C2",
+      "W1(X0,1) C1? R2(X0)=1 W3(X0,1) C3 C1!=A",
+      "R1(X0)=0 W1(X0,1) R2(X0)=0 C1 W2(X1,1) C2",
+      "W1?(X0,5) R2(X1)=0 W1!(X0) C1",
+  };
+  for (const auto& text : cases) {
+    const History h = parse_history_or_die(text);
+    const History h2 = parse_history_or_die(compact(h));
+    EXPECT_EQ(h.events().size(), h2.events().size()) << text;
+    EXPECT_TRUE(h.equivalent_to(h2)) << text;
+    // Round-trip must also preserve the global event order, not just
+    // per-transaction projections.
+    for (std::size_t i = 0; i < h.size(); ++i)
+      EXPECT_TRUE(h.events()[i] == h2.events()[i]) << text << " @" << i;
+  }
+}
+
+TEST(RoundTrip, AllFiguresSurvive) {
+  using namespace figures;
+  for (const History& h :
+       {fig1(), fig2(5), fig3(), fig3_prefix(), fig4(), fig5(), fig6()}) {
+    const History h2 = parse_history_or_die(compact(h));
+    EXPECT_TRUE(h.equivalent_to(h2));
+    for (std::size_t i = 0; i < h.size(); ++i)
+      EXPECT_TRUE(h.events()[i] == h2.events()[i]);
+  }
+}
+
+TEST(Printer, TimelineHasOneRowPerTransaction) {
+  const std::string tl = timeline(figures::fig4());
+  EXPECT_NE(tl.find("T1 |"), std::string::npos);
+  EXPECT_NE(tl.find("T2 |"), std::string::npos);
+  EXPECT_NE(tl.find("T3 |"), std::string::npos);
+  EXPECT_EQ(std::count(tl.begin(), tl.end(), '\n'), 3);
+}
+
+TEST(Printer, SummaryCounts) {
+  const std::string s = summary(figures::fig4());
+  EXPECT_NE(s.find("#txns=3"), std::string::npos);
+  EXPECT_NE(s.find("1 committed, 1 aborted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace duo::history

@@ -1,0 +1,190 @@
+// Tests for serialization construction (Definition 2 completions) and the
+// definition-level verifier.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "checker/legality.hpp"
+#include "checker/serialization.hpp"
+#include "history/builder.hpp"
+#include "history/figures.hpp"
+
+namespace duo::checker {
+namespace {
+
+using history::HistoryBuilder;
+using history::OpKind;
+
+Serialization ids_to_serialization(const History& h,
+                                   const std::vector<history::TxnId>& order,
+                                   const std::vector<history::TxnId>& committed) {
+  Serialization s;
+  s.committed = util::DynamicBitset(h.num_txns());
+  for (const auto id : order) s.order.push_back(h.tix_of(id));
+  for (const auto id : committed) s.committed.set(h.tix_of(id));
+  return s;
+}
+
+TEST(CompletionShape, CommittedMustStayCommitted) {
+  const History h = HistoryBuilder(1).write(1, 0, 1).tryc(1).build();
+  Serialization s = ids_to_serialization(h, {1}, {});
+  EXPECT_FALSE(completion_shape_valid(h, s));  // T1 committed in H
+  s.committed.set(h.tix_of(1));
+  EXPECT_TRUE(completion_shape_valid(h, s));
+}
+
+TEST(CompletionShape, AbortedCannotCommit) {
+  const History h = HistoryBuilder(1).write(1, 0, 1).tryc_aborts(1).build();
+  const Serialization s = ids_to_serialization(h, {1}, {1});
+  EXPECT_FALSE(completion_shape_valid(h, s));
+}
+
+TEST(CompletionShape, RunningCannotCommit) {
+  const History h = HistoryBuilder(1).write(1, 0, 1).build();
+  const Serialization s = ids_to_serialization(h, {1}, {1});
+  EXPECT_FALSE(completion_shape_valid(h, s));
+}
+
+TEST(CompletionShape, CommitPendingFreeChoice) {
+  const History h = HistoryBuilder(1).write(1, 0, 1).inv_tryc(1).build();
+  EXPECT_TRUE(completion_shape_valid(h, ids_to_serialization(h, {1}, {})));
+  EXPECT_TRUE(completion_shape_valid(h, ids_to_serialization(h, {1}, {1})));
+}
+
+TEST(CompletionShape, RejectsNonPermutation) {
+  const History h = HistoryBuilder(1)
+                        .write(1, 0, 1)
+                        .tryc(1)
+                        .write(2, 0, 2)
+                        .tryc(2)
+                        .build();
+  Serialization s;
+  s.committed = util::DynamicBitset(2);
+  s.order = {0, 0};
+  s.committed.set(0);
+  s.committed.set(1);
+  EXPECT_FALSE(completion_shape_valid(h, s));
+}
+
+TEST(Materialize, CommitPendingCompletedWithDecision) {
+  const History h = HistoryBuilder(1).write(1, 0, 1).inv_tryc(1).build();
+  const History sc =
+      materialize(h, ids_to_serialization(h, {1}, {1}));
+  EXPECT_EQ(sc.txn(0).status, history::TxnStatus::kCommitted);
+  const History sa = materialize(h, ids_to_serialization(h, {1}, {}));
+  EXPECT_EQ(sa.txn(0).status, history::TxnStatus::kAborted);
+}
+
+TEST(Materialize, RunningGetsTrycAbort) {
+  const History h = HistoryBuilder(1).write(1, 0, 1).build();
+  const History s = materialize(h, ids_to_serialization(h, {1}, {}));
+  EXPECT_EQ(s.txn(0).status, history::TxnStatus::kAborted);
+  // tryC . A appended after the write.
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.events()[2].op, OpKind::kTryCommit);
+  EXPECT_TRUE(s.events()[3].aborted);
+}
+
+TEST(Materialize, IncompleteOpAborted) {
+  const History h = HistoryBuilder(1).inv_read(1, 0).build();
+  const History s = materialize(h, ids_to_serialization(h, {1}, {}));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.events()[1].aborted);
+  EXPECT_EQ(s.events()[1].op, OpKind::kRead);
+}
+
+TEST(Materialize, ResultIsTSequentialAndTComplete) {
+  const History h = history::figures::fig4();
+  const History s = materialize(h, ids_to_serialization(h, {1, 3, 2}, {3}));
+  EXPECT_TRUE(s.all_t_complete());
+  // t-sequential: transactions appear in contiguous blocks.
+  history::TxnId last = -1;
+  std::set<history::TxnId> seen;
+  for (const auto& e : s.events()) {
+    if (e.txn != last) {
+      EXPECT_TRUE(seen.insert(e.txn).second) << "transaction split";
+      last = e.txn;
+    }
+  }
+}
+
+TEST(Materialize, EquivalentToACompletionOfH) {
+  const History h = history::figures::fig4();
+  const History s = materialize(h, ids_to_serialization(h, {1, 3, 2}, {3}));
+  // Every transaction's projection in S must extend its projection in H.
+  for (const auto& t : h.transactions()) {
+    const auto ph = h.project(t.id);
+    const auto ps = s.project(t.id);
+    ASSERT_GE(ps.size(), ph.size());
+    for (std::size_t i = 0; i < ph.size(); ++i)
+      EXPECT_TRUE(ph[i] == ps[i]);
+  }
+}
+
+TEST(Materialize, LegalityMatchesVerifier) {
+  // Cross-check: materialize() + legal_t_sequential agrees with
+  // verify_serialization's global-legality verdict.
+  const History h = history::figures::fig1();
+  const auto good = ids_to_serialization(h, {2, 3, 1, 4}, {1, 2, 3, 4});
+  EXPECT_TRUE(legal_t_sequential(materialize(h, good)));
+  SerializationRules rules;
+  rules.real_time = false;
+  EXPECT_TRUE(verify_serialization(h, good, rules).empty());
+
+  const auto bad = ids_to_serialization(h, {2, 1, 3, 4}, {1, 2, 3, 4});
+  // T4 reads 2 but T3 (writing 1) now serializes after T1: illegal.
+  EXPECT_FALSE(legal_t_sequential(materialize(h, bad)));
+  EXPECT_FALSE(verify_serialization(h, bad, rules).empty());
+}
+
+TEST(Positions, InversePermutation) {
+  const History h = history::figures::fig1();
+  const auto s = ids_to_serialization(h, {2, 3, 1, 4}, {1, 2, 3, 4});
+  const auto pos = s.positions();
+  for (std::size_t i = 0; i < s.order.size(); ++i)
+    EXPECT_EQ(pos[s.order[i]], i);
+}
+
+TEST(LatestCommittedValue, WalksPrefix) {
+  const History h = history::figures::fig1();
+  const auto s = ids_to_serialization(h, {2, 3, 1, 4}, {1, 2, 3, 4});
+  EXPECT_EQ(latest_committed_value(h, s, 0, 0), 0);  // initial
+  EXPECT_EQ(latest_committed_value(h, s, 1, 0), 1);  // after T2
+  EXPECT_EQ(latest_committed_value(h, s, 2, 0), 1);  // after T3
+  EXPECT_EQ(latest_committed_value(h, s, 3, 0), 2);  // after T1
+}
+
+TEST(Verifier, InternalReadViolationDetected) {
+  // T1 writes 5 then reads 7 from the same object: illegal in any
+  // serialization.
+  const History h = HistoryBuilder(1)
+                        .write(1, 0, 5)
+                        .read(1, 0, 7)
+                        .tryc(1)
+                        .build();
+  SerializationRules rules;
+  const auto s = ids_to_serialization(h, {1}, {1});
+  const auto violations = verify_serialization(h, s, rules);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("internal"), std::string::npos);
+}
+
+TEST(Verifier, ExtraEdgesEnforced) {
+  const History h = HistoryBuilder(1)
+                        .inv_write(1, 0, 1)
+                        .inv_read(2, 0)
+                        .resp_write(1, 0)
+                        .resp_read(2, 0, 0)
+                        .tryc(2)
+                        .tryc(1)
+                        .build();
+  SerializationRules rules;
+  rules.extra_edges = {{h.tix_of(1), h.tix_of(2)}};
+  const auto s = ids_to_serialization(h, {2, 1}, {1, 2});
+  const auto violations = verify_serialization(h, s, rules);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("required edge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace duo::checker

@@ -1,0 +1,131 @@
+// Experiment E11: live multithreaded runs of the deferred-update STMs (TL2,
+// NORec, TML), recorded and judged by the checkers — every recorded history
+// must be du-opaque (hence opaque). This is the paper's §5 claim that
+// existing deferred-update implementations export du-opaque histories.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "checker/du_opacity.hpp"
+#include "checker/strict_serializability.hpp"
+#include "checker/verdict.hpp"
+#include "history/printer.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+#include "stm/tml.hpp"
+#include "stm/workload.hpp"
+#include "util/threading.hpp"
+
+namespace duo::stm {
+namespace {
+
+struct ConformanceCase {
+  const char* name;
+  std::function<std::unique_ptr<Stm>(ObjId, Recorder*)> make;
+};
+
+class DuConformance : public ::testing::TestWithParam<ConformanceCase> {};
+
+checker::CheckResult check_recorded_du(const history::History& h) {
+  checker::DuOpacityOptions opts;
+  opts.node_budget = 200'000'000;
+  return checker::check_du_opacity(h, opts);
+}
+
+TEST_P(DuConformance, ContendedCountersRecordDuOpaqueHistories) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Recorder rec(1 << 16);
+    auto stm = GetParam().make(2, &rec);
+    WorkloadOptions opts;
+    opts.threads = 4;
+    opts.txns_per_thread = 25;
+    opts.ops_per_txn = 2;
+    opts.seed = seed;
+    const auto stats = run_counters(*stm, opts);
+    EXPECT_TRUE(counters_sum_ok(*stm, stats));
+
+    const auto h = rec.finish(stm->num_objects());
+    const auto r = check_recorded_du(h);
+    ASSERT_NE(r.verdict, checker::Verdict::kUnknown);
+    EXPECT_TRUE(r.yes()) << GetParam().name << " seed " << seed << ":\n"
+                         << r.explanation << "\n"
+                         << history::summary(h);
+  }
+}
+
+TEST_P(DuConformance, RandomMixRecordsDuOpaqueHistories) {
+  for (std::uint64_t seed = 10; seed <= 12; ++seed) {
+    Recorder rec(1 << 16);
+    auto stm = GetParam().make(4, &rec);
+    WorkloadOptions opts;
+    opts.threads = 4;
+    opts.txns_per_thread = 20;
+    opts.ops_per_txn = 3;
+    opts.write_fraction = 0.5;
+    opts.zipf_theta = 0.9;
+    opts.seed = seed;
+    run_random_mix(*stm, opts);
+
+    const auto h = rec.finish(stm->num_objects());
+    const auto r = check_recorded_du(h);
+    ASSERT_NE(r.verdict, checker::Verdict::kUnknown);
+    EXPECT_TRUE(r.yes()) << GetParam().name << " seed " << seed;
+    // Committed projection serializable as well.
+    EXPECT_TRUE(checker::check_strict_serializability(h).yes());
+  }
+}
+
+TEST_P(DuConformance, BankAuditsNeverBreakAndRecordDuOpaque) {
+  Recorder rec(1 << 17);
+  auto stm = GetParam().make(6, &rec);
+  WorkloadOptions opts;
+  opts.threads = 4;
+  opts.txns_per_thread = 20;
+  opts.seed = 77;
+  const auto stats = run_bank(*stm, opts, 100);
+  EXPECT_EQ(stats.broken_audits, 0u)
+      << GetParam().name << ": atomicity violated";
+  const auto h = rec.finish(stm->num_objects());
+  const auto r = check_recorded_du(h);
+  EXPECT_TRUE(r.yes()) << GetParam().name;
+}
+
+TEST_P(DuConformance, AbortedTransactionsAppearAndAreHandled) {
+  // Force aborts via extreme contention; the recorded history must contain
+  // aborted transactions and still be du-opaque.
+  Recorder rec(1 << 17);
+  auto stm = GetParam().make(1, &rec);
+  WorkloadOptions opts;
+  opts.threads = 8;
+  opts.txns_per_thread = 15;
+  opts.seed = 5;
+  const auto stats = run_counters(*stm, opts);
+  EXPECT_TRUE(counters_sum_ok(*stm, stats));
+  const auto h = rec.finish(stm->num_objects());
+  const auto r = check_recorded_du(h);
+  EXPECT_TRUE(r.yes()) << GetParam().name;
+  RecordProperty("aborted_attempts", static_cast<int>(stats.aborted));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeferredUpdateStms, DuConformance,
+    ::testing::Values(
+        ConformanceCase{"tl2",
+                        [](ObjId n, Recorder* r) {
+                          return std::make_unique<Tl2Stm>(n, r);
+                        }},
+        ConformanceCase{"norec",
+                        [](ObjId n, Recorder* r) {
+                          return std::make_unique<NorecStm>(n, r);
+                        }},
+        ConformanceCase{"tml",
+                        [](ObjId n, Recorder* r) {
+                          return std::make_unique<TmlStm>(n, r);
+                        }}),
+    [](const ::testing::TestParamInfo<ConformanceCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace duo::stm

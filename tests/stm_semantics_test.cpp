@@ -1,0 +1,266 @@
+// Single-threaded semantic tests shared by all STM implementations:
+// read-own-write, isolation of aborted transactions, commit visibility,
+// repeat reads, and the atomically() retry helper.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "stm/api.hpp"
+#include "stm/norec.hpp"
+#include "stm/pessimistic.hpp"
+#include "stm/tl2.hpp"
+#include "stm/tml.hpp"
+
+namespace duo::stm {
+namespace {
+
+using Factory = std::function<std::unique_ptr<Stm>(ObjId, Recorder*)>;
+
+struct StmCase {
+  const char* name;
+  Factory make;
+  bool undo_on_abort;  // aborted writers roll back (pessimistic does not)
+};
+
+class AllStms : public ::testing::TestWithParam<StmCase> {};
+
+TEST_P(AllStms, FreshObjectsReadZero) {
+  auto stm = GetParam().make(4, nullptr);
+  auto tx = stm->begin();
+  for (ObjId x = 0; x < 4; ++x) {
+    const auto v = tx->read(x);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0);
+  }
+  EXPECT_TRUE(tx->commit());
+}
+
+TEST_P(AllStms, ReadOwnWrite) {
+  auto stm = GetParam().make(2, nullptr);
+  auto tx = stm->begin();
+  ASSERT_TRUE(tx->write(0, 41));
+  ASSERT_TRUE(tx->write(0, 42));
+  const auto v = tx->read(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(tx->commit());
+  EXPECT_EQ(stm->sample_committed(0), 42);
+}
+
+TEST_P(AllStms, CommitMakesWritesVisible) {
+  auto stm = GetParam().make(2, nullptr);
+  {
+    auto tx = stm->begin();
+    ASSERT_TRUE(tx->write(0, 7));
+    ASSERT_TRUE(tx->write(1, 8));
+    ASSERT_TRUE(tx->commit());
+  }
+  auto tx2 = stm->begin();
+  EXPECT_EQ(*tx2->read(0), 7);
+  EXPECT_EQ(*tx2->read(1), 8);
+  EXPECT_TRUE(tx2->commit());
+}
+
+TEST_P(AllStms, RepeatReadsReturnSameValue) {
+  auto stm = GetParam().make(1, nullptr);
+  auto tx = stm->begin();
+  const auto a = tx->read(0);
+  const auto b = tx->read(0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(tx->commit());
+}
+
+TEST_P(AllStms, AbortedWriterInvisible) {
+  if (!GetParam().undo_on_abort) GTEST_SKIP() << "no-abort STM";
+  auto stm = GetParam().make(1, nullptr);
+  {
+    auto tx = stm->begin();
+    ASSERT_TRUE(tx->write(0, 99));
+    tx->abort();
+    EXPECT_TRUE(tx->finished());
+  }
+  EXPECT_EQ(stm->sample_committed(0), 0);
+  auto tx2 = stm->begin();
+  EXPECT_EQ(*tx2->read(0), 0);
+  EXPECT_TRUE(tx2->commit());
+}
+
+TEST_P(AllStms, FinishedFlagLifecycle) {
+  auto stm = GetParam().make(1, nullptr);
+  auto tx = stm->begin();
+  EXPECT_FALSE(tx->finished());
+  EXPECT_TRUE(tx->commit());
+  EXPECT_TRUE(tx->finished());
+}
+
+TEST_P(AllStms, SequentialTransactionsCompose) {
+  auto stm = GetParam().make(1, nullptr);
+  for (Value i = 1; i <= 50; ++i) {
+    auto tx = stm->begin();
+    const auto v = tx->read(0);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(tx->write(0, *v + 1));
+    ASSERT_TRUE(tx->commit());
+  }
+  EXPECT_EQ(stm->sample_committed(0), 50);
+}
+
+TEST_P(AllStms, AtomicallyCommits) {
+  auto stm = GetParam().make(1, nullptr);
+  const bool ok = atomically(*stm, [&](Transaction& tx) {
+    const auto v = tx.read(0);
+    if (!v || !tx.write(0, *v + 5)) return Step::kRetry;
+    return Step::kCommit;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(stm->sample_committed(0), 5);
+}
+
+TEST_P(AllStms, AtomicallyAbandon) {
+  auto stm = GetParam().make(1, nullptr);
+  const bool ok = atomically(*stm, [&](Transaction& tx) {
+    if (!tx.write(0, 1)) return Step::kRetry;
+    return Step::kAbandon;
+  });
+  EXPECT_FALSE(ok);
+  if (GetParam().undo_on_abort) EXPECT_EQ(stm->sample_committed(0), 0);
+}
+
+TEST_P(AllStms, RecorderProducesWellFormedHistory) {
+  Recorder rec(256);
+  auto stm = GetParam().make(2, &rec);
+  {
+    auto tx = stm->begin();
+    ASSERT_TRUE(tx->read(0).has_value());
+    ASSERT_TRUE(tx->write(1, 3));
+    ASSERT_TRUE(tx->commit());
+  }
+  {
+    auto tx = stm->begin();
+    ASSERT_TRUE(tx->read(1).has_value());
+    ASSERT_TRUE(tx->commit());
+  }
+  const auto h = rec.finish(2);
+  EXPECT_EQ(h.num_txns(), 2u);
+  EXPECT_TRUE(h.all_t_complete());
+}
+
+TEST_P(AllStms, RepeatReadsRecordOnce) {
+  Recorder rec(256);
+  auto stm = GetParam().make(1, &rec);
+  auto tx = stm->begin();
+  ASSERT_TRUE(tx->read(0).has_value());
+  ASSERT_TRUE(tx->read(0).has_value());
+  ASSERT_TRUE(tx->write(0, 1));
+  ASSERT_TRUE(tx->read(0).has_value());
+  ASSERT_TRUE(tx->commit());
+  const auto h = rec.finish(1);
+  // One read, one write, one tryC: 6 events (read-once model preserved).
+  EXPECT_EQ(h.size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Implementations, AllStms,
+    ::testing::Values(
+        StmCase{"tl2",
+                [](ObjId n, Recorder* r) {
+                  return std::make_unique<Tl2Stm>(n, r);
+                },
+                true},
+        StmCase{"norec",
+                [](ObjId n, Recorder* r) {
+                  return std::make_unique<NorecStm>(n, r);
+                },
+                true},
+        StmCase{"tml",
+                [](ObjId n, Recorder* r) {
+                  return std::make_unique<TmlStm>(n, r);
+                },
+                true},
+        StmCase{"pessimistic",
+                [](ObjId n, Recorder* r) {
+                  return std::make_unique<PessimisticStm>(n, r);
+                },
+                false}),
+    [](const ::testing::TestParamInfo<StmCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Tl2Specifics, ConflictingWriterAbortsReaderValidation) {
+  // Reader opens before writer commits; its later read must fail TL2's
+  // version check (rv < committed version).
+  Tl2Stm stm(2);
+  auto reader = stm.begin();
+  ASSERT_TRUE(reader->read(0).has_value());
+  {
+    auto writer = stm.begin();
+    ASSERT_TRUE(writer->write(1, 5));
+    ASSERT_TRUE(writer->commit());
+  }
+  EXPECT_FALSE(reader->read(1).has_value());
+  EXPECT_TRUE(reader->finished());
+}
+
+TEST(TmlSpecifics, SecondWriterAborts) {
+  // Both transactions must begin while no writer is active — TML's begin
+  // spin-waits for a writer-free lock value (true to the algorithm).
+  TmlStm stm(2);
+  auto w1 = stm.begin();
+  auto w2 = stm.begin();
+  ASSERT_TRUE(w1->write(0, 1));   // acquires the global lock
+  EXPECT_FALSE(w2->write(1, 2));  // lock CAS fails: abort
+  EXPECT_TRUE(w2->finished());
+  ASSERT_TRUE(w1->commit());
+}
+
+TEST(TmlSpecifics, AbortRollsBackInPlaceWrites) {
+  TmlStm stm(1);
+  auto w = stm.begin();
+  ASSERT_TRUE(w->write(0, 123));
+  w->abort();
+  EXPECT_EQ(stm.sample_committed(0), 0);
+}
+
+TEST(PessimisticSpecifics, NeverAborts) {
+  PessimisticStm stm(2);
+  for (int i = 0; i < 100; ++i) {
+    auto tx = stm.begin();
+    ASSERT_TRUE(tx->read(0).has_value());
+    ASSERT_TRUE(tx->write(1, i));
+    ASSERT_TRUE(tx->commit());
+  }
+}
+
+TEST(NorecSpecifics, WriterInvalidatesConcurrentReaderByValue) {
+  NorecStm stm(2);
+  auto reader = stm.begin();
+  ASSERT_TRUE(reader->read(0).has_value());  // reads 0
+  {
+    auto writer = stm.begin();
+    ASSERT_TRUE(writer->write(0, 5));
+    ASSERT_TRUE(writer->commit());
+  }
+  // Value-based revalidation: X0 changed under the reader; reading another
+  // object must abort.
+  EXPECT_FALSE(reader->read(1).has_value());
+}
+
+TEST(NorecSpecifics, SilentValidationWhenValuesUnchanged) {
+  // A committed writer that re-installs identical values does not doom
+  // concurrent readers (value-based validation's signature behavior).
+  NorecStm stm(2);
+  auto reader = stm.begin();
+  ASSERT_TRUE(reader->read(0).has_value());
+  {
+    auto writer = stm.begin();
+    ASSERT_TRUE(writer->write(0, 0));  // same value as initial
+    ASSERT_TRUE(writer->commit());
+  }
+  EXPECT_TRUE(reader->read(1).has_value());
+  EXPECT_TRUE(reader->commit());
+}
+
+}  // namespace
+}  // namespace duo::stm

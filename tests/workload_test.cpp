@@ -1,0 +1,79 @@
+// Tests for the workload generators: accounting invariants, recorded-history
+// properties, and the unique-writes guarantee of run_random_mix.
+#include <gtest/gtest.h>
+
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+#include "stm/workload.hpp"
+
+namespace duo::stm {
+namespace {
+
+TEST(Workloads, RandomMixAccounting) {
+  Tl2Stm stm(8);
+  WorkloadOptions opts;
+  opts.threads = 3;
+  opts.txns_per_thread = 40;
+  const auto stats = run_random_mix(stm, opts);
+  EXPECT_EQ(stats.committed + stats.abandoned, 3u * 40u);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Workloads, RandomMixRecordedHistoriesAreUniqueWrite) {
+  Recorder rec(1 << 15);
+  Tl2Stm stm(4, &rec);
+  WorkloadOptions opts;
+  opts.threads = 4;
+  opts.txns_per_thread = 20;
+  opts.write_fraction = 0.7;
+  run_random_mix(stm, opts);
+  const auto h = rec.finish(4);
+  EXPECT_TRUE(h.has_unique_writes());
+}
+
+TEST(Workloads, CountersSumMatchesCommits) {
+  for (const double theta : {0.0, 0.99}) {
+    NorecStm stm(4);
+    WorkloadOptions opts;
+    opts.threads = 4;
+    opts.txns_per_thread = 100;
+    opts.zipf_theta = theta;
+    const auto stats = run_counters(stm, opts);
+    EXPECT_TRUE(counters_sum_ok(stm, stats)) << "theta=" << theta;
+    EXPECT_EQ(stats.committed, 4u * 100u);
+  }
+}
+
+TEST(Workloads, BankConservesMoney) {
+  Tl2Stm stm(8);
+  WorkloadOptions opts;
+  opts.threads = 4;
+  opts.txns_per_thread = 50;
+  const auto stats = run_bank(stm, opts, 500);
+  EXPECT_EQ(stats.broken_audits, 0u);
+  Value total = 0;
+  for (ObjId a = 0; a < 8; ++a) total += stm.sample_committed(a);
+  EXPECT_EQ(total, 500 * 8);
+}
+
+TEST(Workloads, SingleThreadNeverAborts) {
+  Tl2Stm stm(4);
+  WorkloadOptions opts;
+  opts.threads = 1;
+  opts.txns_per_thread = 50;
+  const auto stats = run_random_mix(stm, opts);
+  EXPECT_EQ(stats.aborted, 0u);
+  EXPECT_EQ(stats.committed, 50u);
+}
+
+TEST(Workloads, ThroughputIsPositive) {
+  Tl2Stm stm(16);
+  WorkloadOptions opts;
+  opts.threads = 2;
+  opts.txns_per_thread = 30;
+  const auto stats = run_random_mix(stm, opts);
+  EXPECT_GT(stats.throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace duo::stm

@@ -1,0 +1,88 @@
+// duo_check — command-line TM-trace checker.
+//
+// Reads a history in the compact text format (see src/history/parser.hpp)
+// from a file or stdin and prints the timeline, per-criterion verdicts, a
+// witness serialization when one exists, and the pinpointed violation when
+// du-opacity fails.
+//
+// Usage:
+//   duo_check trace.txt
+//   echo "W1(X0,1) C1? R2(X0)=1 W3(X0,1) C3 C1!=A" | duo_check -
+//
+// Exit code: 0 if du-opaque, 2 if not, 1 on input errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "checker/du_opacity.hpp"
+#include "checker/verdict.hpp"
+#include "history/parser.hpp"
+#include "history/printer.hpp"
+
+namespace {
+
+std::string read_input(const char* path) {
+  if (std::string(path) == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream file(path);
+  if (!file) return "";
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: duo_check <trace-file|->\n"
+                 "trace format: W1(X0,1) R2(X0)=1 C1 C2 ... "
+                 "(see src/history/parser.hpp)\n");
+    return 1;
+  }
+  const std::string text = read_input(argv[1]);
+  if (text.empty()) {
+    std::fprintf(stderr, "duo_check: cannot read %s\n", argv[1]);
+    return 1;
+  }
+
+  auto parsed = duo::history::parse_history(text);
+  if (!parsed) {
+    std::fprintf(stderr, "duo_check: parse error: %s\n",
+                 parsed.error().c_str());
+    return 1;
+  }
+  const auto& h = parsed.value();
+
+  std::printf("%s\n%s\n", duo::history::summary(h).c_str(),
+              duo::history::timeline(h).c_str());
+
+  const auto v = duo::checker::evaluate_all(h);
+  std::printf("verdicts: %s\n", v.to_string().c_str());
+  const std::string violation = duo::checker::containment_violations(v);
+  if (!violation.empty())
+    std::printf("WARNING: containment anomaly: %s\n", violation.c_str());
+
+  const auto du = duo::checker::check_du_opacity(h);
+  if (du.yes() && du.witness.has_value()) {
+    std::printf("du serialization:");
+    for (const auto tix : du.witness->order) {
+      std::printf(" T%d%s", h.txn(tix).id,
+                  du.witness->committed.test(tix) ? "" : "(aborted)");
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (du.no()) {
+    std::printf("du-opacity violated: %s\n", du.explanation.c_str());
+    return 2;
+  }
+  std::printf("du-opacity: %s\n", duo::checker::to_string(du.verdict).c_str());
+  return 2;
+}

@@ -1,0 +1,93 @@
+// E14 — CheckerPool batch-checking throughput vs worker count.
+//
+// A fixed batch of generated histories (the production shape: many
+// independent traces arriving at once) is checked at 1/2/4/8 threads; the
+// per-iteration time is the whole batch, so items/second readings divide
+// out directly into speedup over the 1-thread row. A second group measures
+// explore_all_parallel sharding on an exhaustive TL2 sweep.
+//
+// Speedup is bounded by the machine: on a single hardware thread the rows
+// collapse to ~1x; on >=4 cores the 4-thread row is expected >1.5x.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "checker/pool.hpp"
+#include "gen/generator.hpp"
+#include "stm/explorer.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+std::vector<duo::history::History> make_batch(std::size_t count, int txns,
+                                              std::uint64_t seed) {
+  duo::util::Xoshiro256 rng(seed);
+  duo::gen::GenOptions opts;
+  opts.num_txns = txns;
+  opts.num_objects = 3;
+  opts.value_range = 3;
+  std::vector<duo::history::History> hs;
+  hs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Mix decidable-yes and mutated (sometimes-no) cases like a real batch.
+    auto h = duo::gen::random_du_history(opts, rng);
+    hs.push_back(i % 3 == 0 ? duo::gen::mutate(h, rng) : std::move(h));
+  }
+  return hs;
+}
+
+void BM_PoolCheckBatch(benchmark::State& state) {
+  static const auto batch = make_batch(64, 10, 99);
+  duo::checker::PoolOptions popts;
+  popts.num_threads = static_cast<std::size_t>(state.range(0));
+  const duo::checker::CheckerPool pool(popts);
+  for (auto _ : state) {
+    auto results = pool.check_batch(batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_PoolCheckBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PoolCheckBatchHeavy(benchmark::State& state) {
+  // Fewer, harder items: stresses stealing (cost per item is very uneven).
+  static const auto batch = make_batch(16, 14, 7);
+  duo::checker::PoolOptions popts;
+  popts.num_threads = static_cast<std::size_t>(state.range(0));
+  const duo::checker::CheckerPool pool(popts);
+  for (auto _ : state) {
+    auto results = pool.check_batch(batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_PoolCheckBatchHeavy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ExploreAllParallel(benchmark::State& state) {
+  using duo::stm::Program;
+  using duo::stm::ProgramOp;
+  duo::stm::ExplorerOptions opts;
+  opts.make_stm = [](duo::stm::ObjId n, duo::stm::Recorder* r) {
+    return std::make_unique<duo::stm::Tl2Stm>(n, r);
+  };
+  const Program w{ProgramOp::write(0, 5), ProgramOp::write(1, 6)};
+  const Program r1{ProgramOp::read(0), ProgramOp::read(1)};
+  const Program r2{ProgramOp::read(1), ProgramOp::read(0)};
+  const std::vector<Program> programs{w, r1, r2};
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto report =
+        duo::stm::explore_all_parallel(programs, opts, threads);
+    benchmark::DoNotOptimize(report.schedules);
+  }
+}
+BENCHMARK(BM_ExploreAllParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// CheckerPool: batch du-opacity checking over a work-stealing thread set.
+//
+// A batch of recorded or parsed histories is fanned out over N workers.
+// Indices are dealt round-robin into per-worker queues; a worker drains its
+// own queue from the front and, when empty, steals from the back of the
+// busiest remaining queue. Each result is written to the slot of its input
+// index, so the returned vector is ordered like the input and — because
+// check_du_opacity is deterministic — identical for every thread count.
+//
+// The checks themselves share no mutable state (the search engine allocates
+// per call), so workers need no synchronization beyond the queue locks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "checker/du_opacity.hpp"
+#include "history/history.hpp"
+
+namespace duo::checker {
+
+struct PoolOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  std::size_t num_threads = 0;
+  /// Per-history checker options (node budget).
+  DuOpacityOptions check;
+};
+
+class CheckerPool {
+ public:
+  explicit CheckerPool(const PoolOptions& opts = {});
+
+  std::size_t num_threads() const noexcept { return num_threads_; }
+
+  /// Check every history for du-opacity. results[i] is the verdict for
+  /// histories[i], regardless of scheduling.
+  std::vector<CheckResult> check_batch(
+      const std::vector<history::History>& histories) const;
+
+ private:
+  PoolOptions opts_;
+  std::size_t num_threads_;
+};
+
+}  // namespace duo::checker

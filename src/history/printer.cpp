@@ -56,8 +56,11 @@ std::size_t emit_token(const History& h, std::size_t i, std::string& out) {
   // Standalone response.
   switch (e.op) {
     case OpKind::kRead:
-      tok << "R" << e.txn << "!(X" << e.obj << ")"
-          << (e.aborted ? "=A" : "=" + std::to_string(e.value));
+      tok << "R" << e.txn << "!(X" << e.obj << ")=";
+      if (e.aborted)
+        tok << "A";
+      else
+        tok << e.value;
       break;
     case OpKind::kWrite:
       tok << "W" << e.txn << "!(X" << e.obj << ")" << (e.aborted ? "=A" : "");

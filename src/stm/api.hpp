@@ -51,6 +51,14 @@ class Stm {
   /// after all threads join; not linearizable against live transactions.
   virtual Value sample_committed(ObjId obj) const = 0;
 
+  /// Capability: do a transaction's writes become invisible when it aborts?
+  /// True for deferred-update designs (redo log discarded: TL2, NORec) and
+  /// undo-log designs that roll back (TML). False for the pessimistic
+  /// no-abort STM, which updates in place and never undoes — the §5
+  /// non-du behavior the paper singles out. Tests gate their post-abort
+  /// assertions on this instead of skipping.
+  virtual bool rolls_back_aborted_writes() const { return true; }
+
   virtual ObjId num_objects() const = 0;
   virtual std::string name() const = 0;
 };

@@ -34,6 +34,8 @@ class PessimisticStm final : public Stm {
   Value sample_committed(ObjId obj) const override;
   ObjId num_objects() const override { return num_objects_; }
   std::string name() const override { return "pessimistic"; }
+  /// In-place writes with no undo log: an aborted writer's values persist.
+  bool rolls_back_aborted_writes() const override { return false; }
 
  private:
   friend class PessimisticTransaction;

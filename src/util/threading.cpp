@@ -4,6 +4,12 @@
 
 namespace duo::util {
 
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
   DUO_EXPECTS(n > 0);
   SpinBarrier barrier(n);

@@ -44,4 +44,10 @@ class SpinBarrier {
 /// fatal by design (tests must not swallow them silently).
 void run_threads(std::size_t n, const std::function<void(std::size_t)>& body);
 
+/// Resolves a requested worker count: 0 means hardware concurrency
+/// (minimum 1 — hardware_concurrency() may itself report 0). The single
+/// policy point for every "0 = auto" knob (CheckerPool, the parallel
+/// explorer sweep).
+std::size_t resolve_threads(std::size_t requested) noexcept;
+
 }  // namespace duo::util

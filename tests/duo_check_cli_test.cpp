@@ -1,0 +1,195 @@
+// End-to-end tests for the duo_check CLI: exit codes (0 du-opaque /
+// 2 violation / 1 input error), the empty-trace and missing-file
+// distinction, --budget, and the multi-file / directory / --jobs batch
+// modes. The binary path arrives via DUO_CHECK_BIN (set by CTest).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gen/generator.hpp"
+#include "history/printer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class DuoCheckCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* bin = std::getenv("DUO_CHECK_BIN");
+    ASSERT_NE(bin, nullptr)
+        << "DUO_CHECK_BIN not set (run through CTest or export it)";
+    bin_ = bin;
+    ASSERT_TRUE(fs::exists(bin_)) << bin_;
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("duo_check_cli_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write_trace(const std::string& name, const std::string& text) {
+    const fs::path p = dir_ / name;
+    std::ofstream out(p);
+    out << text;
+    return p.string();
+  }
+
+  /// Runs duo_check with `args`, returns the exit code; stdout is captured
+  /// into `stdout_`.
+  int run(const std::string& args) {
+    const fs::path out = dir_ / "stdout.txt";
+    const std::string cmd =
+        bin_ + " " + args + " > " + out.string() + " 2> /dev/null";
+    const int status = std::system(cmd.c_str());
+    std::ifstream in(out);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    stdout_ = ss.str();
+    if (status == -1) return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  std::string bin_;
+  fs::path dir_;
+  std::string stdout_;
+};
+
+constexpr char kOpaque[] = "W1(X0,1) C1 R2(X0)=1 C2";
+// Figure 3's shape: T2 reads T1's value before T1's tryC is invoked.
+constexpr char kViolating[] = "W1(X0,1) R2(X0)=1 C1 C2";
+
+TEST_F(DuoCheckCli, DuOpaqueTraceExitsZero) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run(trace), 0);
+  EXPECT_NE(stdout_.find("du serialization"), std::string::npos) << stdout_;
+}
+
+TEST_F(DuoCheckCli, ViolationExitsTwo) {
+  const auto trace = write_trace("bad.txt", kViolating);
+  EXPECT_EQ(run(trace), 2);
+  EXPECT_NE(stdout_.find("du-opacity violated"), std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, MissingFileExitsOne) {
+  EXPECT_EQ(run((dir_ / "does_not_exist.txt").string()), 1);
+}
+
+TEST_F(DuoCheckCli, ParseErrorExitsOne) {
+  const auto trace = write_trace("garbage.txt", "this is not a trace @@@");
+  EXPECT_EQ(run(trace), 1);
+}
+
+TEST_F(DuoCheckCli, NoArgumentsExitsOne) { EXPECT_EQ(run(""), 1); }
+
+TEST_F(DuoCheckCli, EmptyTraceIsAVerdictNotAnError) {
+  // An empty file is a legitimate (empty, trivially du-opaque) history —
+  // previously conflated with an unreadable file.
+  const auto trace = write_trace("empty.txt", "");
+  EXPECT_EQ(run(trace), 0) << stdout_;
+}
+
+TEST_F(DuoCheckCli, BudgetFlagSurfacesExhaustion) {
+  // A trace the checker cannot decide in one node: must report unknown
+  // (exit 2) rather than searching for a long time.
+  duo::util::Xoshiro256 rng(42);
+  duo::gen::GenOptions opts;
+  opts.num_txns = 8;
+  const auto h = duo::gen::random_du_history(opts, rng);
+  const auto trace = write_trace("hard.txt", duo::history::compact(h));
+  EXPECT_EQ(run("--budget 1 " + trace), 2);
+  EXPECT_NE(stdout_.find("unknown"), std::string::npos) << stdout_;
+  // With the default budget the same trace is decidable.
+  EXPECT_EQ(run(trace), 0) << stdout_;
+}
+
+TEST_F(DuoCheckCli, BadBudgetValueExitsOne) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run("--budget zero " + trace), 1);
+}
+
+TEST_F(DuoCheckCli, BatchModeReportsPerFileAndSummary) {
+  const auto a = write_trace("a.txt", kOpaque);
+  const auto b = write_trace("b.txt", kViolating);
+  const auto c = write_trace("c.txt", kOpaque);
+  EXPECT_EQ(run(a + " " + b + " " + c + " --jobs 4"), 2);
+  EXPECT_NE(stdout_.find("a.txt: du-opaque"), std::string::npos) << stdout_;
+  EXPECT_NE(stdout_.find("b.txt: VIOLATION"), std::string::npos) << stdout_;
+  EXPECT_NE(stdout_.find("checked 3 traces"), std::string::npos) << stdout_;
+  EXPECT_NE(stdout_.find("1 violations"), std::string::npos) << stdout_;
+}
+
+TEST_F(DuoCheckCli, BatchAllCleanExitsZero) {
+  const auto a = write_trace("a.txt", kOpaque);
+  const auto b = write_trace("b.txt", kOpaque);
+  EXPECT_EQ(run(a + " " + b), 0);
+}
+
+TEST_F(DuoCheckCli, DirectoryInputExpandsToSortedBatch) {
+  fs::create_directories(dir_ / "traces");
+  write_trace("traces/1.txt", kOpaque);
+  write_trace("traces/2.txt", kViolating);
+  write_trace("traces/3.txt", kOpaque);
+  EXPECT_EQ(run((dir_ / "traces").string() + " -j 2"), 2);
+  EXPECT_NE(stdout_.find("checked 3 traces"), std::string::npos) << stdout_;
+  // Input order is sorted by name: 1 before 2 before 3.
+  const auto p1 = stdout_.find("1.txt:");
+  const auto p2 = stdout_.find("2.txt:");
+  const auto p3 = stdout_.find("3.txt:");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST_F(DuoCheckCli, SingleFileDirectoryStillUsesBatchFormat) {
+  // The output format follows what was asked for (a directory), not how
+  // many files the directory happens to hold.
+  fs::create_directories(dir_ / "one");
+  write_trace("one/only.txt", kOpaque);
+  EXPECT_EQ(run((dir_ / "one").string()), 0);
+  EXPECT_NE(stdout_.find("only.txt: du-opaque"), std::string::npos)
+      << stdout_;
+  EXPECT_NE(stdout_.find("checked 1 traces"), std::string::npos) << stdout_;
+}
+
+TEST_F(DuoCheckCli, NegativeOptionValuesAreRejected) {
+  const auto a = write_trace("a.txt", kOpaque);
+  const auto b = write_trace("b.txt", kOpaque);
+  EXPECT_EQ(run(a + " " + b + " --jobs -3"), 1);
+  EXPECT_EQ(run("--budget -1 " + a), 1);
+}
+
+TEST_F(DuoCheckCli, BatchInputErrorDominatesExitCode) {
+  const auto a = write_trace("a.txt", kOpaque);
+  const auto missing = (dir_ / "missing.txt").string();
+  EXPECT_EQ(run(a + " " + missing), 1);
+  EXPECT_NE(stdout_.find("ERROR"), std::string::npos) << stdout_;
+}
+
+TEST_F(DuoCheckCli, JobsCountsAreVerdictInvariant) {
+  // The same batch must yield the same per-file verdicts for any --jobs.
+  const auto a = write_trace("a.txt", kOpaque);
+  const auto b = write_trace("b.txt", kViolating);
+  ASSERT_EQ(run(a + " " + b + " --jobs 1"), 2);
+  const std::string serial = stdout_;
+  for (const char* jobs : {"2", "4", "8"}) {
+    ASSERT_EQ(run(a + " " + b + " --jobs " + jobs), 2);
+    // Strip the summary line (it names the job count) before comparing.
+    const auto cut = [](const std::string& s) {
+      return s.substr(0, s.rfind("checked "));
+    };
+    EXPECT_EQ(cut(stdout_), cut(serial)) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace

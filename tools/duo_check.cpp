@@ -1,58 +1,180 @@
 // duo_check — command-line TM-trace checker.
 //
-// Reads a history in the compact text format (see src/history/parser.hpp)
-// from a file or stdin and prints the timeline, per-criterion verdicts, a
-// witness serialization when one exists, and the pinpointed violation when
+// Reads one or more histories in the compact text format (see
+// src/history/parser.hpp) and judges them for du-opacity.
+//
+// Single input: prints the timeline, per-criterion verdicts, a witness
+// serialization when one exists, and the pinpointed violation when
 // du-opacity fails.
+//
+// Multiple inputs (several files and/or directories): batch mode — the
+// traces are checked concurrently through a CheckerPool and one verdict
+// line is printed per trace, in input order, followed by a summary.
 //
 // Usage:
 //   duo_check trace.txt
+//   duo_check traces/ more/a.txt more/b.txt --jobs 8
 //   echo "W1(X0,1) C1? R2(X0)=1 W3(X0,1) C3 C1!=A" | duo_check -
 //
-// Exit code: 0 if du-opaque, 2 if not, 1 on input errors.
+// Options:
+//   --jobs N, -j N   worker threads in batch mode (default: hardware)
+//   --budget N       DFS node budget per check; exhausting it yields an
+//                    explicit "unknown" verdict instead of a long search
+//
+// Exit code: 0 if every input is du-opaque, 2 if any is not (or is
+// undecided within budget), 1 on usage/input errors.
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "checker/du_opacity.hpp"
+#include "checker/pool.hpp"
 #include "checker/verdict.hpp"
 #include "history/parser.hpp"
 #include "history/printer.hpp"
 
 namespace {
 
-std::string read_input(const char* path) {
-  if (std::string(path) == "-") {
+namespace fs = std::filesystem;
+
+struct Options {
+  std::vector<std::string> inputs;  // files or "-" (directories expanded)
+  std::size_t jobs = 0;             // 0 = hardware concurrency
+  std::uint64_t node_budget = duo::checker::DuOpacityOptions{}.node_budget;
+  /// Batch output even for a single trace: set when the user passed a
+  /// directory or several arguments, so the output format depends on what
+  /// was asked for, not on how many files a directory happened to hold.
+  bool batch = false;
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: duo_check [--jobs N] [--budget N] "
+               "<trace-file|directory|->...\n"
+               "trace format: W1(X0,1) R2(X0)=1 C1 C2 ... "
+               "(see src/history/parser.hpp)\n");
+}
+
+/// Reads a trace, distinguishing I/O failure (nullopt) from a legitimately
+/// empty trace (the empty string — the empty history, which has a real
+/// verdict).
+std::optional<std::string> read_input(const std::string& path) {
+  if (path == "-") {
     std::ostringstream ss;
     ss << std::cin.rdbuf();
     return ss.str();
   }
   std::ifstream file(path);
-  if (!file) return "";
+  if (!file) return std::nullopt;
   std::ostringstream ss;
   ss << file.rdbuf();
+  if (file.bad()) return std::nullopt;
   return ss.str();
 }
 
-}  // namespace
+/// Expands a directory argument to its regular files, sorted by name for a
+/// deterministic batch order. Non-directory arguments pass through.
+bool expand_inputs(const std::vector<std::string>& args, Options& opts) {
+  std::vector<std::string>& inputs = opts.inputs;
+  if (args.size() > 1) opts.batch = true;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (arg != "-" && fs::is_directory(arg, ec)) {
+      opts.batch = true;
+      std::vector<std::string> found;
+      // Non-throwing iteration throughout: an entry vanishing or becoming
+      // unstatable mid-scan must yield a diagnostic, not std::terminate.
+      fs::directory_iterator it(arg, ec);
+      for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
+        if (it->is_regular_file(ec) && !ec)
+          found.push_back(it->path().string());
+      }
+      if (ec) {
+        std::fprintf(stderr, "duo_check: cannot list %s: %s\n", arg.c_str(),
+                     ec.message().c_str());
+        return false;
+      }
+      if (found.empty()) {
+        std::fprintf(stderr, "duo_check: no trace files in %s\n", arg.c_str());
+        return false;
+      }
+      std::sort(found.begin(), found.end());
+      inputs.insert(inputs.end(), found.begin(), found.end());
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  return true;
+}
 
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr,
-                 "usage: duo_check <trace-file|->\n"
-                 "trace format: W1(X0,1) R2(X0)=1 C1 C2 ... "
-                 "(see src/history/parser.hpp)\n");
+bool parse_count(const char* text, std::uint64_t& out) {
+  // strtoull accepts leading whitespace and '-' (wrapping negatives to huge
+  // values); only plain digit strings are valid counts here.
+  if (*text < '0' || *text > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  std::vector<std::string> raw_inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      std::exit(0);
+    }
+    if (arg == "--jobs" || arg == "-j" || arg == "--budget") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "duo_check: %s requires a value\n", arg.c_str());
+        return false;
+      }
+      std::uint64_t value = 0;
+      if (!parse_count(argv[++i], value) || value == 0) {
+        std::fprintf(stderr, "duo_check: bad %s value: %s\n", arg.c_str(),
+                     argv[i]);
+        return false;
+      }
+      if (arg == "--budget") {
+        opts.node_budget = value;
+      } else {
+        opts.jobs = static_cast<std::size_t>(value);
+      }
+      continue;
+    }
+    if (arg.size() > 1 && arg[0] == '-') {
+      std::fprintf(stderr, "duo_check: unknown option: %s\n", arg.c_str());
+      return false;
+    }
+    raw_inputs.push_back(arg);
+  }
+  if (raw_inputs.empty()) {
+    print_usage(stderr);
+    return false;
+  }
+  return expand_inputs(raw_inputs, opts);
+}
+
+/// Detailed single-trace report (the original duo_check output).
+int check_single(const std::string& path, const Options& opts) {
+  const auto text = read_input(path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "duo_check: cannot read %s\n", path.c_str());
     return 1;
   }
-  const std::string text = read_input(argv[1]);
-  if (text.empty()) {
-    std::fprintf(stderr, "duo_check: cannot read %s\n", argv[1]);
-    return 1;
-  }
-
-  auto parsed = duo::history::parse_history(text);
+  auto parsed = duo::history::parse_history(*text);
   if (!parsed) {
     std::fprintf(stderr, "duo_check: parse error: %s\n",
                  parsed.error().c_str());
@@ -63,20 +185,26 @@ int main(int argc, char** argv) {
   std::printf("%s\n%s\n", duo::history::summary(h).c_str(),
               duo::history::timeline(h).c_str());
 
-  const auto v = duo::checker::evaluate_all(h);
+  const auto v = duo::checker::evaluate_all(h, opts.node_budget);
   std::printf("verdicts: %s\n", v.to_string().c_str());
   const std::string violation = duo::checker::containment_violations(v);
   if (!violation.empty())
     std::printf("WARNING: containment anomaly: %s\n", violation.c_str());
 
-  const auto du = duo::checker::check_du_opacity(h);
-  if (du.yes() && du.witness.has_value()) {
-    std::printf("du serialization:");
-    for (const auto tix : du.witness->order) {
-      std::printf(" T%d%s", h.txn(tix).id,
-                  du.witness->committed.test(tix) ? "" : "(aborted)");
+  duo::checker::DuOpacityOptions copts;
+  copts.node_budget = opts.node_budget;
+  const auto du = duo::checker::check_du_opacity(h, copts);
+  if (du.yes()) {
+    if (du.witness.has_value()) {
+      std::printf("du serialization:");
+      for (const auto tix : du.witness->order) {
+        std::printf(" T%d%s", h.txn(tix).id,
+                    du.witness->committed.test(tix) ? "" : "(aborted)");
+      }
+      std::printf("\n");
+    } else {
+      std::printf("du-opaque\n");
     }
-    std::printf("\n");
     return 0;
   }
   if (du.no()) {
@@ -85,4 +213,80 @@ int main(int argc, char** argv) {
   }
   std::printf("du-opacity: %s\n", duo::checker::to_string(du.verdict).c_str());
   return 2;
+}
+
+/// Batch mode: parse every input, check the parseable ones through the
+/// pool, report per-input lines in input order.
+int check_batch(const Options& opts) {
+  const std::size_t n = opts.inputs.size();
+  std::vector<std::string> errors(n);  // read/parse diagnostics, "" if ok
+  std::vector<duo::history::History> histories;
+  std::vector<std::size_t> history_input;  // histories[j] is inputs[...]
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto text = read_input(opts.inputs[i]);
+    if (!text.has_value()) {
+      errors[i] = "cannot read";
+      continue;
+    }
+    auto parsed = duo::history::parse_history(*text);
+    if (!parsed) {
+      errors[i] = "parse error: " + parsed.error();
+      continue;
+    }
+    histories.push_back(std::move(parsed).take());
+    history_input.push_back(i);
+  }
+
+  duo::checker::PoolOptions popts;
+  popts.num_threads = opts.jobs;
+  popts.check.node_budget = opts.node_budget;
+  duo::checker::CheckerPool pool(popts);
+  const auto results = pool.check_batch(histories);
+
+  std::vector<const duo::checker::CheckResult*> by_input(n, nullptr);
+  for (std::size_t j = 0; j < results.size(); ++j)
+    by_input[history_input[j]] = &results[j];
+
+  std::size_t ok = 0, violated = 0, undecided = 0, failed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!errors[i].empty()) {
+      ++failed;
+      std::printf("%s: ERROR: %s\n", opts.inputs[i].c_str(),
+                  errors[i].c_str());
+      continue;
+    }
+    const auto& r = *by_input[i];
+    if (r.yes()) {
+      ++ok;
+      std::printf("%s: du-opaque\n", opts.inputs[i].c_str());
+    } else if (r.no()) {
+      ++violated;
+      std::printf("%s: VIOLATION%s%s\n", opts.inputs[i].c_str(),
+                  r.explanation.empty() ? "" : ": ",
+                  r.explanation.c_str());
+    } else {
+      ++undecided;
+      std::printf("%s: unknown (node budget exhausted; retry with a larger "
+                  "--budget)\n",
+                  opts.inputs[i].c_str());
+    }
+  }
+  // The pool clamps workers to the batch size; report what actually ran.
+  const std::size_t jobs_used = std::min(pool.num_threads(), histories.size());
+  std::printf("checked %zu traces (%zu jobs): %zu du-opaque, %zu violations, "
+              "%zu unknown, %zu errors\n",
+              n, jobs_used, ok, violated, undecided, failed);
+  if (failed > 0) return 1;
+  return (violated > 0 || undecided > 0) ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 1;
+  if (!opts.batch && opts.inputs.size() == 1)
+    return check_single(opts.inputs[0], opts);
+  return check_batch(opts);
 }

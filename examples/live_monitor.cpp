@@ -1,18 +1,23 @@
-// Live safety monitoring: run a contended workload on a chosen STM, record
-// it, and evaluate du-opacity on growing prefixes — the practical payoff of
-// the paper's safety results. Because du-opacity is prefix-closed
-// (Corollary 2), a monitor can check prefixes incrementally: once a prefix
-// fails, every extension fails, so the first "no" is the bug's location;
-// and if all finite prefixes pass, limit-closure (Theorem 5) extends the
-// guarantee to the whole (complete) execution.
+// Live safety monitoring: run a contended workload on a chosen STM and
+// check it for du-opacity *while it executes* — the practical payoff of the
+// paper's safety results. A RecorderTap drains the recorder's slots as the
+// worker threads publish them and feeds an OnlineMonitor, which maintains
+// the verdict incrementally: because du-opacity is prefix-closed
+// (Corollary 2), the monitor latches a permanent "no" at the first bad
+// event — no per-prefix re-checking, no binary search — and if every prefix
+// passes, limit-closure (Theorem 5) extends the guarantee to the whole
+// execution.
 //
 // Usage: live_monitor [tl2|norec|tml|pessimistic|tl2-faulty]
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <thread>
 
-#include "checker/du_opacity.hpp"
 #include "history/printer.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/tap.hpp"
 #include "stm/norec.hpp"
 #include "stm/pessimistic.hpp"
 #include "stm/tl2.hpp"
@@ -45,8 +50,12 @@ int main(int argc, char** argv) {
 
   stm::Recorder recorder(1 << 14);
   auto stm = make_stm(which, &recorder);
-  std::printf("monitoring %s under a contended 3-thread workload...\n\n",
+  std::printf("monitoring %s under a contended 3-thread workload "
+              "(checking overlaps execution)...\n\n",
               stm->name().c_str());
+
+  monitor::OnlineMonitor mon;
+  monitor::RecorderTap tap(recorder, mon);
 
   stm::WorkloadOptions opts;
   opts.threads = 3;
@@ -54,43 +63,44 @@ int main(int argc, char** argv) {
   opts.ops_per_txn = 2;
   opts.write_fraction = 0.6;
   opts.seed = 2026;
-  stm::run_random_mix(*stm, opts);
+
+  std::atomic<bool> done{false};
+  std::thread workload([&] {
+    stm::run_random_mix(*stm, opts);
+    done.store(true, std::memory_order_release);
+  });
+  tap.pump(done);  // drains slots and feeds the monitor while threads run
+  workload.join();
 
   const auto h = recorder.finish(stm->num_objects());
-  std::printf("recorded %s\n\n", history::summary(h).c_str());
+  std::printf("recorded %s\n", history::summary(h).c_str());
+  if (recorder.overflowed())
+    std::printf("NOTE: recorder overflowed; the verdict covers only the "
+                "first %zu events.\n",
+                recorder.capacity());
 
-  // Monitor: check growing prefixes; stop at the first violation.
-  checker::DuOpacityOptions copts;
-  copts.node_budget = 100'000'000;
-  std::size_t step = std::max<std::size_t>(1, h.size() / 10);
-  bool violated = false;
-  for (std::size_t n = step; n <= h.size() && !violated; n += step) {
-    const std::size_t len = std::min(n, h.size());
-    const auto r = checker::check_du_opacity(h.prefix(len), copts);
-    std::printf("  prefix %4zu/%zu events: %s\n", len, h.size(),
-                checker::to_string(r.verdict).c_str());
-    if (r.no()) {
-      violated = true;
-      // Narrow down to the exact event using prefix closure (binary search
-      // between the last good checkpoint and this one).
-      std::size_t lo = len - step, hi = len;
-      while (lo + 1 < hi) {
-        const std::size_t mid = (lo + hi) / 2;
-        if (checker::check_du_opacity(h.prefix(mid), copts).no())
-          hi = mid;
-        else
-          lo = mid;
-      }
-      std::printf(
-          "\n  first du-opacity violation at event %zu:\n    %s\n", hi,
-          history::to_string(h.events()[hi - 1]).c_str());
-      std::printf("\n  violation explanation: %s\n",
-                  checker::check_du_opacity(h.prefix(hi), copts)
-                      .explanation.c_str());
+  const auto& stats = mon.stats();
+  std::printf("monitored %zu events: %zu fast-path, %zu witness checks, "
+              "%zu repairs, %zu full checks\n\n",
+              stats.events, stats.fast_yes, stats.witness_checks,
+              stats.witness_repairs, stats.full_checks);
+
+  switch (mon.verdict()) {
+    case checker::Verdict::kYes:
+      std::printf("all %zu prefixes du-opaque: the execution conforms to "
+                  "the deferred-update semantics.\n",
+                  mon.events_fed());
+      return 0;
+    case checker::Verdict::kNo: {
+      const std::size_t at = *mon.first_violation();
+      std::printf("first du-opacity violation at event %zu:\n    %s\n",
+                  at, history::to_string(h.events()[at - 1]).c_str());
+      std::printf("\nviolation explanation: %s\n", mon.explanation().c_str());
+      return 2;
     }
+    case checker::Verdict::kUnknown:
+      std::printf("undecided within the search budget.\n");
+      return 2;
   }
-  if (!violated)
-    std::printf("\nall prefixes du-opaque: execution conforms to the "
-                "deferred-update semantics.\n");
   return 0;
 }

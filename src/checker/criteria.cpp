@@ -1,5 +1,7 @@
 #include "checker/criteria.hpp"
 
+#include <cctype>
+
 #include "util/assert.hpp"
 
 namespace duo::checker {
@@ -14,6 +16,31 @@ std::string to_string(Criterion c) {
     case Criterion::kStrictSerializability: return "strict-serializability";
   }
   DUO_UNREACHABLE("bad Criterion");
+}
+
+std::optional<Criterion> criterion_from_name(const std::string& name) {
+  std::string n;
+  n.reserve(name.size());
+  for (const char c : name)
+    n.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (n == "final-state-opacity" || n == "final-state" || n == "fso")
+    return Criterion::kFinalStateOpacity;
+  if (n == "opacity" || n == "opaque") return Criterion::kOpacity;
+  if (n == "du-opacity" || n == "du") return Criterion::kDuOpacity;
+  if (n == "rco-opacity" || n == "rco") return Criterion::kRcoOpacity;
+  if (n == "tms2") return Criterion::kTms2;
+  if (n == "strict-serializability" || n == "strict" || n == "sser")
+    return Criterion::kStrictSerializability;
+  return std::nullopt;
+}
+
+const std::vector<Criterion>& all_criteria() {
+  static const std::vector<Criterion> kAll = {
+      Criterion::kFinalStateOpacity,      Criterion::kOpacity,
+      Criterion::kDuOpacity,              Criterion::kRcoOpacity,
+      Criterion::kTms2,                   Criterion::kStrictSerializability,
+  };
+  return kAll;
 }
 
 std::string to_string(Verdict v) {

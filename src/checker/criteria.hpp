@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "checker/search.hpp"
 
@@ -18,6 +19,14 @@ enum class Criterion : std::uint8_t {
 };
 
 std::string to_string(Criterion c);
+
+/// Inverse of to_string, case-insensitive, accepting the short aliases the
+/// duo_check CLI documents (du, fso, opaque, rco, tms2, sser). nullopt for
+/// unknown names.
+std::optional<Criterion> criterion_from_name(const std::string& name);
+
+/// All six criteria, in declaration order (for CLI help / sweeps).
+const std::vector<Criterion>& all_criteria();
 
 /// Tri-state verdict: budget exhaustion is reported, never silently turned
 /// into a verdict.

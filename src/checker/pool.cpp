@@ -1,5 +1,7 @@
 #include "checker/pool.hpp"
 
+#include "checker/verdict.hpp"
+
 #include <deque>
 #include <mutex>
 
@@ -56,7 +58,8 @@ std::vector<CheckResult> CheckerPool::check_batch(
   const std::size_t workers = std::min(num_threads_, histories.size());
   if (workers == 1) {
     for (std::size_t i = 0; i < histories.size(); ++i)
-      results[i] = check_du_opacity(histories[i], opts_.check);
+      results[i] = check_criterion(histories[i], opts_.criterion,
+                                   opts_.check.node_budget);
     return results;
   }
 
@@ -90,7 +93,8 @@ std::vector<CheckResult> CheckerPool::check_batch(
           continue;  // lost a race; rescan
         }
       }
-      results[index] = check_du_opacity(histories[index], opts_.check);
+      results[index] = check_criterion(histories[index], opts_.criterion,
+                                       opts_.check.node_budget);
     }
   });
   return results;

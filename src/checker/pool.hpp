@@ -1,4 +1,5 @@
-// CheckerPool: batch du-opacity checking over a work-stealing thread set.
+// CheckerPool: batch correctness checking (du-opacity by default, any
+// Criterion via PoolOptions) over a work-stealing thread set.
 //
 // A batch of recorded or parsed histories is fanned out over N workers.
 // Indices are dealt round-robin into per-worker queues; a worker drains its
@@ -22,6 +23,8 @@ namespace duo::checker {
 struct PoolOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
   std::size_t num_threads = 0;
+  /// Criterion every history is judged under.
+  Criterion criterion = Criterion::kDuOpacity;
   /// Per-history checker options (node budget).
   DuOpacityOptions check;
 };
@@ -32,8 +35,8 @@ class CheckerPool {
 
   std::size_t num_threads() const noexcept { return num_threads_; }
 
-  /// Check every history for du-opacity. results[i] is the verdict for
-  /// histories[i], regardless of scheduling.
+  /// Check every history under the configured criterion. results[i] is the
+  /// verdict for histories[i], regardless of scheduling.
   std::vector<CheckResult> check_batch(
       const std::vector<history::History>& histories) const;
 

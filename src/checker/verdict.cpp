@@ -65,4 +65,34 @@ std::string containment_violations(const VerdictVector& v) {
   return "";
 }
 
+CheckResult check_criterion(const History& h, Criterion c,
+                            std::uint64_t node_budget) {
+  switch (c) {
+    case Criterion::kFinalStateOpacity:
+      return check_final_state_opacity(h, FinalStateOptions{node_budget});
+    case Criterion::kDuOpacity:
+      return check_du_opacity(h, DuOpacityOptions{node_budget});
+    case Criterion::kRcoOpacity:
+      return check_rco_opacity(h, RcoOptions{node_budget});
+    case Criterion::kTms2:
+      return check_tms2(h, Tms2Options{node_budget});
+    case Criterion::kStrictSerializability:
+      return check_strict_serializability(h, StrictSerOptions{node_budget});
+    case Criterion::kOpacity: {
+      const OpacityResult r = check_opacity(h, OpacityOptions{node_budget});
+      CheckResult out;
+      out.verdict = r.verdict;
+      out.stats.nodes = r.total_nodes;
+      if (r.no() && r.first_bad_prefix.has_value()) {
+        std::ostringstream msg;
+        msg << "first non-final-state-opaque prefix ends at event "
+            << *r.first_bad_prefix;
+        out.explanation = msg.str();
+      }
+      return out;
+    }
+  }
+  DUO_UNREACHABLE("bad Criterion");
+}
+
 }  // namespace duo::checker

@@ -24,6 +24,13 @@ struct VerdictVector {
 VerdictVector evaluate_all(const History& h,
                            std::uint64_t node_budget = 50'000'000);
 
+/// Check a single criterion, dispatching to its checker. The opacity
+/// checker's prefix-level result is adapted into a CheckResult (no witness;
+/// the first bad prefix index lands in the explanation). Used by the
+/// duo_check --criterion flag and the CheckerPool.
+CheckResult check_criterion(const History& h, Criterion c,
+                            std::uint64_t node_budget = 50'000'000);
+
 /// The containment structure the paper proves/conjectures, as a checkable
 /// predicate on a verdict vector (ignores kUnknown entries):
 ///   du ⇒ opaque ⇒ final-state (Thm. 10, Def. 5);

@@ -48,11 +48,12 @@ bool parse_obj(Cursor& c, long long& out) {
 
 }  // namespace
 
-util::Result<History> parse_history(std::string_view text) {
-  using R = util::Result<History>;
-  std::vector<Event> events;
-  ObjId max_obj = -1;
-  ObjId declared_objects = -1;
+util::Result<ParsedEvents> parse_events(std::string_view text) {
+  using R = util::Result<ParsedEvents>;
+  ParsedEvents out;
+  std::vector<Event>& events = out.events;
+  ObjId& max_obj = out.max_obj;
+  ObjId& declared_objects = out.declared_objects;
 
   // Tokenize on whitespace.
   std::vector<std::string> tokens;
@@ -187,11 +188,19 @@ util::Result<History> parse_history(std::string_view text) {
     }
   }
 
+  return R::ok(std::move(out));
+}
+
+util::Result<History> parse_history(std::string_view text) {
+  using R = util::Result<History>;
+  auto parsed = parse_events(text);
+  if (!parsed) return R::error(parsed.error());
+  ParsedEvents pe = std::move(parsed).take();
   const ObjId num_objects =
-      declared_objects >= 0 ? declared_objects : max_obj + 1;
-  if (max_obj >= num_objects)
+      pe.declared_objects >= 0 ? pe.declared_objects : pe.max_obj + 1;
+  if (pe.max_obj >= num_objects)
     return R::error("objects= declares fewer objects than used");
-  return History::make(std::move(events), num_objects);
+  return History::make(std::move(pe.events), num_objects);
 }
 
 History parse_history_or_die(std::string_view text) {

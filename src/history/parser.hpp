@@ -31,6 +31,20 @@ namespace duo::history {
 
 util::Result<History> parse_history(std::string_view text);
 
+/// Token-level parse without History validation: the events the tokens
+/// denote, in order, plus the largest object id referenced and the value of
+/// an `objects=N` token if one appeared (-1 otherwise). This is the
+/// streaming entry point — duo_check --stream parses each incoming line
+/// with it and feeds the events to an OnlineMonitor, which validates
+/// well-formedness incrementally.
+struct ParsedEvents {
+  std::vector<Event> events;
+  ObjId max_obj = -1;
+  ObjId declared_objects = -1;
+};
+
+util::Result<ParsedEvents> parse_events(std::string_view text);
+
 /// Convenience for tests/figures: parse or abort with the diagnostic.
 History parse_history_or_die(std::string_view text);
 

@@ -1,0 +1,130 @@
+#include "monitor/incremental_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace duo::monitor {
+
+std::size_t IncrementalGraph::add_node() {
+  const std::size_t id = out_.size();
+  out_.emplace_back();
+  in_.emplace_back();
+  ord_.push_back(id);  // append at the end of the order: no edges yet
+  mark_.push_back(false);
+  return id;
+}
+
+bool IncrementalGraph::forward_reach(std::size_t from, std::size_t limit,
+                                     std::size_t target,
+                                     std::vector<std::size_t>& out) {
+  std::vector<std::size_t> stack{from};
+  mark_[from] = true;
+  out.push_back(from);
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const auto& [v, count] : out_[u]) {
+      (void)count;
+      if (v == target) return false;
+      if (mark_[v] || ord_[v] > limit) continue;
+      mark_[v] = true;
+      out.push_back(v);
+      stack.push_back(v);
+    }
+  }
+  return true;
+}
+
+void IncrementalGraph::backward_reach(std::size_t from, std::size_t limit,
+                                      std::vector<std::size_t>& out) {
+  std::vector<std::size_t> stack{from};
+  mark_[from] = true;
+  out.push_back(from);
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const auto& [v, count] : in_[u]) {
+      (void)count;
+      if (mark_[v] || ord_[v] < limit) continue;
+      mark_[v] = true;
+      out.push_back(v);
+      stack.push_back(v);
+    }
+  }
+}
+
+bool IncrementalGraph::add_edge(std::size_t a, std::size_t b) {
+  DUO_EXPECTS(a < out_.size() && b < out_.size());
+  if (a == b) return false;
+  if (const auto it = out_[a].find(b); it != out_[a].end()) {
+    // Edge already present: acyclicity unchanged, just bump the refcount.
+    ++it->second;
+    ++in_[b].at(a);
+    return true;
+  }
+  if (ord_[a] > ord_[b]) {
+    // Affected region: nodes ordered between b and a. deltaF = nodes
+    // reachable from b inside the region; if a is among them the new edge
+    // closes a cycle. deltaB = nodes reaching a inside the region. The
+    // region is reordered by giving deltaB's nodes the smallest of the
+    // combined order slots (in their existing relative order), then
+    // deltaF's — which puts a and everything before it ahead of b and
+    // everything after it, restoring topological consistency.
+    std::vector<std::size_t> delta_f;
+    const bool acyclic = forward_reach(b, ord_[a], a, delta_f);
+    for (const std::size_t v : delta_f) mark_[v] = false;
+    if (!acyclic) return false;
+
+    std::vector<std::size_t> delta_b;
+    backward_reach(a, ord_[b], delta_b);
+    for (const std::size_t v : delta_b) mark_[v] = false;
+
+    const auto by_ord = [this](std::size_t x, std::size_t y) {
+      return ord_[x] < ord_[y];
+    };
+    std::sort(delta_f.begin(), delta_f.end(), by_ord);
+    std::sort(delta_b.begin(), delta_b.end(), by_ord);
+
+    std::vector<std::size_t> slots;
+    slots.reserve(delta_f.size() + delta_b.size());
+    for (const std::size_t v : delta_b) slots.push_back(ord_[v]);
+    for (const std::size_t v : delta_f) slots.push_back(ord_[v]);
+    std::sort(slots.begin(), slots.end());
+
+    std::size_t next = 0;
+    for (const std::size_t v : delta_b) ord_[v] = slots[next++];
+    for (const std::size_t v : delta_f) ord_[v] = slots[next++];
+  }
+  out_[a].emplace(b, 1);
+  in_[b].emplace(a, 1);
+  ++num_edges_;
+  return true;
+}
+
+void IncrementalGraph::remove_edge(std::size_t a, std::size_t b) {
+  DUO_EXPECTS(a < out_.size() && b < out_.size());
+  const auto it = out_[a].find(b);
+  DUO_EXPECTS(it != out_[a].end());
+  if (--it->second == 0) {
+    out_[a].erase(it);
+    in_[b].erase(a);
+    --num_edges_;
+    // The maintained order remains a valid topological order of the
+    // smaller graph; nothing to recompute.
+  } else {
+    --in_[b].at(a);
+  }
+}
+
+bool IncrementalGraph::has_edge(std::size_t a, std::size_t b) const {
+  DUO_EXPECTS(a < out_.size() && b < out_.size());
+  return out_[a].count(b) != 0;
+}
+
+std::size_t IncrementalGraph::order_index(std::size_t node) const {
+  DUO_EXPECTS(node < ord_.size());
+  return ord_[node];
+}
+
+}  // namespace duo::monitor

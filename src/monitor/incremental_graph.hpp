@@ -1,0 +1,76 @@
+// Dynamic directed graph with online cycle detection for the monitor's
+// necessary-edges constraint set.
+//
+// The online safety monitor maintains, per event, the set of serialization
+// edges every du-opaque witness of the current prefix must satisfy (the same
+// derivation as checker/fast_reject.hpp, see monitor.cpp). Edges come and go
+// as transactions change status — a unique candidate writer loses its edge
+// when a second candidate invokes tryC — so the structure must support both
+// insertion with incremental cycle detection and deletion.
+//
+// Cycle detection uses topological-order maintenance (Pearce & Kelly, "A
+// dynamic topological sort algorithm for directed acyclic graphs", JEA
+// 2007): a total order `ord` over nodes is kept consistent with all edges;
+// inserting an edge (a, b) with ord[a] < ord[b] is O(1), otherwise only the
+// "affected region" — nodes whose order index lies between ord[b] and
+// ord[a] — is searched and locally reordered. Deleting an edge never
+// invalidates the order (any topological order of a graph is one of every
+// subgraph), so deletion is a pure refcount decrement.
+//
+// Edges are reference-counted: the monitor derives the same pair from
+// independent rules (a real-time edge and a unique-writer edge may
+// coincide) and releases them independently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace duo::monitor {
+
+class IncrementalGraph {
+ public:
+  /// Adds an isolated node and returns its id (dense, starting at 0). New
+  /// nodes are appended at the end of the maintained topological order.
+  std::size_t add_node();
+
+  /// Adds one reference to the edge a -> b. Returns false iff the edge
+  /// would close a cycle — in that case the graph is left unchanged. A
+  /// self-loop is reported as a cycle.
+  bool add_edge(std::size_t a, std::size_t b);
+
+  /// Releases one reference to the edge a -> b; the edge disappears when
+  /// its count reaches zero. The edge must currently exist.
+  void remove_edge(std::size_t a, std::size_t b);
+
+  bool has_edge(std::size_t a, std::size_t b) const;
+
+  std::size_t num_nodes() const noexcept { return out_.size(); }
+  /// Number of distinct present edges (ignoring reference counts).
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Current topological index of a node (for tests: every edge a -> b
+  /// satisfies order_index(a) < order_index(b)).
+  std::size_t order_index(std::size_t node) const;
+
+ private:
+  /// Forward DFS from `from`, visiting only nodes with ord <= `limit`.
+  /// Returns false if `target` was reached (cycle); visited nodes are
+  /// appended to `out`.
+  bool forward_reach(std::size_t from, std::size_t limit, std::size_t target,
+                     std::vector<std::size_t>& out);
+  /// Backward DFS from `from`, visiting only nodes with ord >= `limit`.
+  void backward_reach(std::size_t from, std::size_t limit,
+                      std::vector<std::size_t>& out);
+
+  // Adjacency with per-edge reference counts. std::map keeps neighbor
+  // iteration deterministic; degrees are small (a few edges per
+  // transaction), so the tree overhead is irrelevant.
+  std::vector<std::map<std::size_t, std::uint32_t>> out_;
+  std::vector<std::map<std::size_t, std::uint32_t>> in_;
+  std::vector<std::size_t> ord_;  // node -> topological index
+  std::vector<bool> mark_;       // scratch for the DFS passes
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace duo::monitor

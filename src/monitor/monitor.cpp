@@ -1,0 +1,494 @@
+#include "monitor/monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "checker/du_opacity.hpp"
+#include "util/assert.hpp"
+
+namespace duo::monitor {
+
+using history::EventKind;
+using history::OpKind;
+
+OnlineMonitor::OnlineMonitor(const MonitorOptions& opts) : opts_(opts) {
+  num_objects_ = std::max<ObjId>(opts_.num_objects, 0);
+  committed_writers_by_obj_.resize(static_cast<std::size_t>(num_objects_));
+  reads_by_obj_.resize(static_cast<std::size_t>(num_objects_));
+}
+
+// ---------------------------------------------------------------------------
+// Validation (mirrors History::make, but one event at a time)
+
+std::string OnlineMonitor::validate(const Event& e) const {
+  std::ostringstream msg;
+  const auto fail = [&](const char* why) {
+    msg << why << " at event " << events_.size() + 1 << " ("
+        << history::to_string(e) << ")";
+    return msg.str();
+  };
+  if (e.txn < 0) return fail("negative transaction id");
+  if (e.op == OpKind::kRead || e.op == OpKind::kWrite) {
+    if (e.obj < 0) return fail("object id out of range");
+    if (opts_.num_objects >= 0 && e.obj >= opts_.num_objects)
+      return fail("object id out of range");
+  }
+  const auto it = tix_of_.find(e.txn);
+  const Txn* t = it == tix_of_.end() ? nullptr : &txns_[it->second];
+  if (t != nullptr && t->finished) return fail("event after C/A response");
+  if (e.is_invocation()) {
+    if (t != nullptr && t->has_pending)
+      return fail("invocation while operation pending");
+    if (e.op == OpKind::kRead && t != nullptr &&
+        t->objects_read.count(e.obj) != 0)
+      return fail("repeated read of same object (model assumes read-once)");
+  } else {
+    if (t == nullptr || !t->has_pending)
+      return fail("response without pending invocation");
+    if (t->pending_inv.op != e.op) return fail("response kind mismatch");
+    if ((e.op == OpKind::kRead || e.op == OpKind::kWrite) &&
+        t->pending_inv.obj != e.obj)
+      return fail("response object mismatch");
+    if (e.op == OpKind::kTryAbort && !e.aborted)
+      return fail("tryA must respond with A");
+  }
+  return std::string();
+}
+
+std::size_t OnlineMonitor::txn_index(TxnId id) {
+  const auto it = tix_of_.find(id);
+  if (it != tix_of_.end()) return it->second;
+  const std::size_t k = txns_.size();
+  txns_.emplace_back();
+  txns_[k].id = id;
+  tix_of_.emplace(id, k);
+  const std::size_t node = graph_.add_node();
+  DUO_ASSERT(node == k);
+  // Keep the witness arrays aligned with tix space even while no witness is
+  // held; a later fallback adoption overwrites them wholesale.
+  wpos_.push_back(worder_.size());
+  worder_.push_back(k);
+  wcommitted_.push_back(false);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+void OnlineMonitor::latch(std::string reason, bool by_fast_reject) {
+  verdict_ = Verdict::kNo;
+  stats_.latched_by_fast_reject = by_fast_reject;
+  first_violation_ = events_.size();
+  explanation_ = std::move(reason);
+  have_witness_ = false;
+}
+
+void OnlineMonitor::add_graph_edge(std::size_t a, std::size_t b) {
+  if (!graph_.add_edge(a, b))
+    latch("necessary serialization edges form a cycle");
+}
+
+std::optional<Value> OnlineMonitor::final_write_value(std::size_t tix,
+                                                      ObjId x) const {
+  for (const auto& [obj, v] : txns_[tix].final_writes)
+    if (obj == x) return v;
+  return std::nullopt;
+}
+
+bool OnlineMonitor::can_commit(std::size_t tix) const {
+  const TxnStatus s = txns_[tix].status;
+  return s == TxnStatus::kCommitted || s == TxnStatus::kCommitPending;
+}
+
+std::string OnlineMonitor::read_desc(const Read& r) const {
+  std::ostringstream out;
+  out << "read" << txns_[r.reader].id << "(X" << r.obj << ")=" << r.value;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Constraint maintenance. The invariants mirror checker/fast_reject.cpp:
+// for every external value-returning read r of (X, v) by T_k,
+//   - cands(r)  = can-commit transactions (committed or commit-pending)
+//                 whose final write to X is v, excluding T_k;
+//   - non-initial v with cands empty                 -> no serialization;
+//   - non-initial v with no cand's tryC before resp  -> du violation;
+//   - non-initial v with a unique cand w             -> edge w -> T_k;
+//   - initial v with cands empty                     -> edge T_k -> m for
+//     every committed m whose final write to X is a different value.
+// All other constraint sources (real-time order) are monotone and handled
+// at transaction creation. Edges are released when their rule lapses, so
+// the graph holds exactly the current prefix's necessary edges; every
+// intermediate graph during one feed() is a subset of the new prefix's
+// edge set, which keeps a mid-update cycle a sound rejection.
+
+void OnlineMonitor::refresh_read_constraints(Read& r) {
+  if (!r.is_initial) {
+    if (r.cands.empty()) {
+      latch(read_desc(r) +
+            ": no transaction that can commit writes this value");
+      return;
+    }
+    if (r.local_count == 0) {
+      latch(read_desc(r) +
+            ": no candidate writer invoked tryC before the read's response "
+            "(deferred-update violation)");
+      return;
+    }
+    const std::optional<std::size_t> want =
+        r.cands.size() == 1 ? std::optional<std::size_t>(r.cands.front())
+                            : std::nullopt;
+    if (r.unique_edge != want) {
+      if (r.unique_edge.has_value())
+        graph_.remove_edge(*r.unique_edge, r.reader);
+      r.unique_edge = want;
+      if (want.has_value()) add_graph_edge(*want, r.reader);
+    }
+    return;
+  }
+  // Initial-value read.
+  if (!r.cands.empty()) {
+    for (const std::size_t m : r.initial_edges)
+      graph_.remove_edge(r.reader, m);
+    r.initial_edges.clear();
+    return;
+  }
+  // The committed set only grows and commit freezes a write set, so the
+  // desired target set only grows: add the missing edges.
+  for (const std::size_t m :
+       committed_writers_by_obj_[static_cast<std::size_t>(r.obj)]) {
+    if (m == r.reader) continue;
+    const auto fv = final_write_value(m, r.obj);
+    DUO_ASSERT(fv.has_value());
+    if (*fv == r.value) continue;
+    if (std::find(r.initial_edges.begin(), r.initial_edges.end(), m) !=
+        r.initial_edges.end())
+      continue;
+    r.initial_edges.push_back(m);
+    add_graph_edge(r.reader, m);
+    if (latched()) return;
+  }
+}
+
+void OnlineMonitor::on_new_transaction(std::size_t tix) {
+  // Real-time edges: a ≺RT b iff a is t-complete and ends before b begins.
+  // b's first event is the latest event, so its ≺RT predecessors are
+  // exactly the currently t-complete transactions — and no pair among
+  // existing transactions ever becomes real-time-ordered later (a
+  // transaction's t-completing response is its last event). Edges into a
+  // fresh sink cannot close a cycle.
+  for (const std::size_t a : t_complete_) {
+    const bool ok = graph_.add_edge(a, tix);
+    DUO_ASSERT(ok);
+  }
+}
+
+void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
+                                     std::size_t resp_index) {
+  if (const auto own = final_write_value(tix, x)) {
+    // Internal read: it must return the transaction's own latest prior
+    // write in *every* equivalent t-sequential history, so a mismatch
+    // admits no serialization at all.
+    if (*own != v) {
+      std::ostringstream msg;
+      msg << "internal read" << txns_[tix].id << "(X" << x << ")=" << v
+          << " must return own write " << *own;
+      latch(msg.str());
+    }
+    return;
+  }
+
+  reads_.push_back(Read{});
+  Read& r = reads_.back();
+  const std::size_t rid = reads_.size() - 1;
+  r.reader = tix;
+  r.obj = x;
+  r.value = v;
+  r.resp_index = resp_index;
+  r.is_initial = v == 0;  // initial values are 0 throughout
+  reads_of_[{x, v}].push_back(rid);
+  reads_by_obj_[static_cast<std::size_t>(x)].push_back(rid);
+  txns_[tix].ext_read_ids.push_back(rid);
+
+  if (const auto it = writers_of_.find({x, v}); it != writers_of_.end()) {
+    for (const std::size_t w : it->second) {
+      if (w == tix) continue;
+      r.cands.push_back(w);
+      DUO_ASSERT(txns_[w].tryc_inv.has_value());
+      if (*txns_[w].tryc_inv < resp_index) ++r.local_count;
+    }
+  }
+  refresh_read_constraints(r);
+  if (latched()) return;
+
+  if (have_witness_) {
+    ++stats_.witness_checks;
+    if (!witness_verify_read(r)) {
+      // Common live pattern: a writer committed during the reader's
+      // lifetime and sits behind it in the order. The reader is still
+      // running — no real-time successors — so re-serializing it last is
+      // always order-valid; only its own reads need re-checking.
+      ++stats_.witness_repairs;
+      witness_move_to_end(tix);
+      if (!witness_verify_txn_reads(tix)) have_witness_ = false;
+    }
+  }
+}
+
+void OnlineMonitor::on_tryc_invoked(std::size_t tix) {
+  // The transaction becomes a can-commit candidate writer for every value
+  // in its (now frozen) write set. Its tryC invocation is the latest
+  // event, so it never joins a read's *local* candidate set.
+  for (const auto& [x, v] : txns_[tix].final_writes) {
+    writers_of_[{x, v}].push_back(tix);
+    const auto it = reads_of_.find({x, v});
+    if (it == reads_of_.end()) continue;
+    for (const std::size_t rid : it->second) {
+      Read& r = reads_[rid];
+      if (r.reader == tix) continue;
+      r.cands.push_back(tix);
+      refresh_read_constraints(r);
+      if (latched()) return;
+    }
+  }
+}
+
+void OnlineMonitor::on_committed(std::size_t tix) {
+  for (const auto& [x, v] : txns_[tix].final_writes) {
+    (void)v;
+    committed_writers_by_obj_[static_cast<std::size_t>(x)].push_back(tix);
+    // Initial-value reads of X with no candidate writer must now be
+    // ordered before this committed writer (if it writes a different
+    // value); reads with candidates are unconstrained.
+    const auto it = reads_of_.find({x, Value{0}});
+    if (it == reads_of_.end()) continue;
+    for (const std::size_t rid : it->second) {
+      Read& r = reads_[rid];
+      if (r.reader == tix || !r.cands.empty()) continue;
+      refresh_read_constraints(r);
+      if (latched()) return;
+    }
+  }
+  if (have_witness_ && !wcommitted_[tix]) {
+    if (!witness_flip(tix, true)) have_witness_ = false;
+  }
+}
+
+void OnlineMonitor::on_aborted(std::size_t tix, bool was_commit_pending) {
+  if (was_commit_pending) {
+    for (const auto& [x, v] : txns_[tix].final_writes) {
+      auto& writers = writers_of_[{x, v}];
+      writers.erase(std::find(writers.begin(), writers.end(), tix));
+      const auto it = reads_of_.find({x, v});
+      if (it == reads_of_.end()) continue;
+      for (const std::size_t rid : it->second) {
+        Read& r = reads_[rid];
+        if (r.reader == tix) continue;
+        r.cands.erase(std::find(r.cands.begin(), r.cands.end(), tix));
+        DUO_ASSERT(txns_[tix].tryc_inv.has_value());
+        if (*txns_[tix].tryc_inv < r.resp_index) --r.local_count;
+        refresh_read_constraints(r);
+        if (latched()) return;
+      }
+    }
+  }
+  if (have_witness_ && wcommitted_[tix]) {
+    if (!witness_flip(tix, false)) have_witness_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Witness maintenance
+
+bool OnlineMonitor::witness_flip(std::size_t tix, bool committed) {
+  ++stats_.witness_checks;
+  wcommitted_[tix] = committed;
+  // Flipping the completion bit changes the visibility of exactly this
+  // transaction's writes, which can only affect external reads of those
+  // objects serialized after it.
+  bool ok = true;
+  for (const auto& [x, v] : txns_[tix].final_writes) {
+    (void)v;
+    for (const std::size_t rid : reads_by_obj_[static_cast<std::size_t>(x)]) {
+      const Read& r = reads_[rid];
+      if (r.reader == tix) continue;
+      if (wpos_[r.reader] <= wpos_[tix]) continue;
+      if (!witness_verify_read(r)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) break;
+  }
+  if (ok || !committed) return ok;
+  // Repair for the commit flip: the C response is the latest event, so the
+  // transaction has no real-time successors and may be re-serialized last,
+  // where its writes are visible to nobody. Earlier reads then revert to
+  // their previously-verified expectations; only this transaction's own
+  // reads (which now see every committed peer) need re-verification.
+  ++stats_.witness_repairs;
+  witness_move_to_end(tix);
+  return witness_verify_txn_reads(tix);
+}
+
+bool OnlineMonitor::witness_verify_txn_reads(std::size_t tix) const {
+  for (const std::size_t rid : txns_[tix].ext_read_ids)
+    if (!witness_verify_read(reads_[rid])) return false;
+  return true;
+}
+
+void OnlineMonitor::witness_move_to_end(std::size_t tix) {
+  const std::size_t from = wpos_[tix];
+  worder_.erase(worder_.begin() + static_cast<std::ptrdiff_t>(from));
+  worder_.push_back(tix);
+  for (std::size_t p = from; p < worder_.size(); ++p) wpos_[worder_[p]] = p;
+}
+
+bool OnlineMonitor::witness_verify_read(const Read& r) const {
+  // Global legality: the latest witness-committed writer of X serialized
+  // before the reader (else the initial value). Mirrors
+  // checker/legality.cpp's committed-writers walk.
+  Value expected = 0;
+  for (std::size_t p = wpos_[r.reader]; p-- > 0;) {
+    const std::size_t w = worder_[p];
+    if (!wcommitted_[w]) continue;
+    if (const auto fv = final_write_value(w, r.obj)) {
+      expected = *fv;
+      break;
+    }
+  }
+  if (expected != r.value) return false;
+
+  // Deferred-update local legality (Def. 3(3)): the latest such writer
+  // whose tryC invocation precedes the read's response.
+  Value local = 0;
+  for (std::size_t p = wpos_[r.reader]; p-- > 0;) {
+    const std::size_t w = worder_[p];
+    if (!wcommitted_[w]) continue;
+    const auto fv = final_write_value(w, r.obj);
+    if (!fv.has_value()) continue;
+    DUO_ASSERT(txns_[w].tryc_inv.has_value());
+    if (*txns_[w].tryc_inv < r.resp_index) {
+      local = *fv;
+      break;
+    }
+  }
+  return local == r.value;
+}
+
+void OnlineMonitor::run_full_check() {
+  ++stats_.full_checks;
+  const History h = history();
+  checker::DuOpacityOptions copts;
+  copts.node_budget = opts_.node_budget;
+  const auto result = checker::check_du_opacity(h, copts);
+  if (result.yes()) {
+    DUO_ASSERT(result.witness.has_value());
+    verdict_ = Verdict::kYes;
+    have_witness_ = true;
+    worder_ = result.witness->order;
+    wpos_.assign(txns_.size(), 0);
+    for (std::size_t p = 0; p < worder_.size(); ++p) wpos_[worder_[p]] = p;
+    wcommitted_.assign(txns_.size(), false);
+    for (std::size_t tix = 0; tix < txns_.size(); ++tix)
+      if (result.witness->committed.test(tix)) wcommitted_[tix] = true;
+  } else if (result.no()) {
+    latch(result.explanation.empty()
+              ? "no serialization satisfies Def. 3 (1)-(3)"
+              : result.explanation,
+          /*by_fast_reject=*/false);
+  } else {
+    verdict_ = Verdict::kUnknown;
+    have_witness_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The event loop
+
+util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
+  using R = util::Result<Verdict>;
+  if (std::string err = validate(e); !err.empty())
+    return R::error(std::move(err));
+
+  if ((e.op == OpKind::kRead || e.op == OpKind::kWrite) &&
+      e.obj >= num_objects_) {
+    num_objects_ = e.obj + 1;
+    committed_writers_by_obj_.resize(static_cast<std::size_t>(num_objects_));
+    reads_by_obj_.resize(static_cast<std::size_t>(num_objects_));
+  }
+
+  const bool is_new_txn = tix_of_.find(e.txn) == tix_of_.end();
+  const std::size_t k = txn_index(e.txn);
+  const std::size_t index = events_.size();
+  events_.push_back(e);
+  ++stats_.events;
+
+  // Latched prefixes stay latched (prefix closure); only the validation
+  // state keeps advancing so malformed suffixes are still diagnosed.
+  const bool frozen = latched();
+  if (!frozen && is_new_txn) on_new_transaction(k);
+
+  Txn& t = txns_[k];
+  if (e.is_invocation()) {
+    t.has_pending = true;
+    t.pending_inv = e;
+    if (e.op == OpKind::kRead) t.objects_read.insert(e.obj);
+    if (e.op == OpKind::kTryCommit) {
+      t.tryc_inv = index;
+      t.status = TxnStatus::kCommitPending;
+      if (!frozen) on_tryc_invoked(k);
+    }
+  } else {
+    const Event inv = t.pending_inv;
+    t.has_pending = false;
+    if (e.aborted || e.op == OpKind::kTryCommit) t.finished = true;
+    if (e.aborted) {
+      const bool was_commit_pending = t.status == TxnStatus::kCommitPending;
+      t.status = TxnStatus::kAborted;
+      t_complete_.push_back(k);
+      if (!frozen) on_aborted(k, was_commit_pending);
+    } else {
+      switch (e.op) {
+        case OpKind::kRead:
+          if (!frozen) on_read_response(k, e.obj, e.value, index);
+          break;
+        case OpKind::kWrite: {
+          // Record the final write value. The transaction is necessarily
+          // still running here, so its writes are invisible under every
+          // completion the witness may choose: no re-verification needed.
+          bool found = false;
+          for (auto& [obj, v] : t.final_writes)
+            if (obj == e.obj) {
+              v = inv.value;
+              found = true;
+            }
+          if (!found) t.final_writes.emplace_back(e.obj, inv.value);
+          break;
+        }
+        case OpKind::kTryCommit:
+          t.status = TxnStatus::kCommitted;
+          t_complete_.push_back(k);
+          if (!frozen) on_committed(k);
+          break;
+        case OpKind::kTryAbort:
+          DUO_UNREACHABLE("tryA response is always aborted (validated)");
+      }
+    }
+  }
+
+  if (latched()) return R::ok(Verdict::kNo);
+  if (have_witness_) {
+    verdict_ = Verdict::kYes;
+    ++stats_.fast_yes;
+    return R::ok(Verdict::kYes);
+  }
+  run_full_check();
+  return R::ok(verdict_);
+}
+
+History OnlineMonitor::history() const {
+  return std::move(History::make(events_, num_objects_)).value_or_die();
+}
+
+}  // namespace duo::monitor

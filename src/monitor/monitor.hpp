@@ -1,0 +1,208 @@
+// Online incremental du-opacity monitor.
+//
+// The paper makes online monitoring sound: du-opacity is prefix-closed
+// (Corollary 2), so once any prefix of an execution is non-du-opaque every
+// extension is, and a monitor may latch a permanent "no" at the first bad
+// event; if every finite prefix passes, limit-closure under unique writes
+// (Theorem 5) extends the guarantee to the whole execution. OnlineMonitor
+// turns that into an algorithm: it consumes history events one at a time
+// and maintains the verdict for the growing prefix incrementally, instead
+// of re-running the exponential checker per prefix.
+//
+// Per event, three tiers run in order of cost:
+//
+//   1. Witness extension (cheap "yes"): the witness serialization of the
+//      previous prefix is adapted — a new transaction is appended to the
+//      order, a commit/abort response flips the transaction's completion
+//      bit — and only the reads whose legality that event can affect are
+//      re-verified. Invocations and write responses provably never
+//      invalidate the witness (a transaction's writes are invisible until
+//      its completion bit is set), so most events are O(1). When the
+//      in-place adaptation breaks, one repair is tried before falling back:
+//      the transaction the event concerns is re-serialized *last*. A
+//      transaction that just committed (its C response is the latest event)
+//      or is still running has no real-time successors, so the end of the
+//      order is always a real-time-valid position, and only its own reads
+//      need re-verification — this absorbs the common live pattern of a
+//      writer committing in the middle of concurrent readers' lifetimes.
+//
+//   2. Incremental fast-reject (cheap "no"): the necessary-edges constraint
+//      graph of checker/fast_reject.hpp — real-time edges, unique-candidate
+//      -writer edges, initial-value-read ordering edges — is maintained
+//      incrementally in an IncrementalGraph with online cycle detection, and
+//      the no-candidate-writer / no-tryC-before-response rejections are
+//      re-evaluated only for the reads whose candidate sets the event
+//      changed. A contradiction latches kNo at the current event index.
+//
+//   3. Bounded search (exact fallback): only when the witness breaks and
+//      the fast-reject pass is inconclusive does the monitor run the full
+//      check_du_opacity on the prefix, adopting the fresh witness on "yes"
+//      and latching on "no".
+//
+// The monitor's verdict for every prefix equals check_du_opacity on that
+// prefix (tests/monitor_test.cpp holds this over random histories and
+// recorded STM runs), with one deliberate exception: a verdict backed by a
+// maintained witness is reported as kYes even when a from-scratch search
+// would exhaust its node budget and report kUnknown.
+//
+// Initial values are assumed to be 0 for every object, matching recorded
+// executions and the trace parser.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checker/criteria.hpp"
+#include "history/event.hpp"
+#include "history/history.hpp"
+#include "monitor/incremental_graph.hpp"
+#include "util/result.hpp"
+
+namespace duo::monitor {
+
+using checker::Verdict;
+using history::Event;
+using history::History;
+using history::ObjId;
+using history::TxnId;
+using history::TxnStatus;
+using history::Value;
+
+struct MonitorOptions {
+  /// DFS node budget for the bounded-search fallback.
+  std::uint64_t node_budget = 50'000'000;
+  /// Fixed t-object count; -1 grows the object set as events mention new
+  /// ids. Initial values are 0 either way.
+  ObjId num_objects = -1;
+};
+
+struct MonitorStats {
+  std::size_t events = 0;
+  /// Events resolved on the witness fast path (no full check).
+  std::size_t fast_yes = 0;
+  /// Events that required re-verifying part of the witness.
+  std::size_t witness_checks = 0;
+  /// Witness repairs (a transaction re-serialized at the end of the order).
+  std::size_t witness_repairs = 0;
+  /// Bounded-search fallbacks (History rebuild + check_du_opacity).
+  std::size_t full_checks = 0;
+  /// True when kNo was latched by the incremental fast-reject pass rather
+  /// than by the fallback search.
+  bool latched_by_fast_reject = false;
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(const MonitorOptions& opts = {});
+
+  /// Consume the next event and return the verdict for the prefix ending at
+  /// it. A malformed event (one History::make would reject) yields an error
+  /// and is discarded; the monitor remains usable.
+  util::Result<Verdict> feed(const Event& e);
+
+  /// Verdict for the prefix fed so far. kNo is latched: per prefix closure
+  /// it covers every extension, so later feeds are O(1).
+  Verdict verdict() const noexcept { return verdict_; }
+
+  /// 1-based index of the event at which kNo latched.
+  std::optional<std::size_t> first_violation() const noexcept {
+    return first_violation_;
+  }
+
+  /// Human-readable reason for a kNo verdict.
+  const std::string& explanation() const noexcept { return explanation_; }
+
+  std::size_t events_fed() const noexcept { return events_.size(); }
+  ObjId num_objects() const noexcept { return num_objects_; }
+  const MonitorStats& stats() const noexcept { return stats_; }
+
+  /// Everything fed so far as a History (O(events); for reporting).
+  History history() const;
+
+ private:
+  // -- per-transaction incremental state (index = tix, dense in order of
+  // first event, matching History's transaction indices) -----------------
+  struct Txn {
+    TxnId id = 0;
+    TxnStatus status = TxnStatus::kRunning;
+    bool finished = false;  // saw a C_k or A_k response (validation)
+    bool has_pending = false;
+    Event pending_inv;
+    std::optional<std::size_t> tryc_inv;
+    std::vector<std::pair<ObjId, Value>> final_writes;  // responded writes
+    std::set<ObjId> objects_read;      // read-once validation
+    std::vector<std::size_t> ext_read_ids;  // indices into reads_
+  };
+
+  // -- per-external-read constraint state ---------------------------------
+  struct Read {
+    std::size_t reader = 0;  // tix
+    ObjId obj = -1;
+    Value value = 0;
+    std::size_t resp_index = 0;
+    bool is_initial = false;
+    std::vector<std::size_t> cands;  // can-commit writers of (obj, value)
+    std::size_t local_count = 0;     // cands with tryC invoked before resp
+    std::optional<std::size_t> unique_edge;  // writer w with edge w -> reader
+    std::vector<std::size_t> initial_edges;  // targets m of reader -> m
+  };
+
+  std::string validate(const Event& e) const;
+  std::size_t txn_index(TxnId id);  // creates the transaction on first use
+
+  void latch(std::string reason, bool by_fast_reject = true);
+  bool latched() const noexcept { return verdict_ == Verdict::kNo; }
+  void add_graph_edge(std::size_t a, std::size_t b);
+
+  std::optional<Value> final_write_value(std::size_t tix, ObjId x) const;
+  bool can_commit(std::size_t tix) const;
+  std::string read_desc(const Read& r) const;
+
+  // Constraint maintenance per status transition.
+  void on_new_transaction(std::size_t tix);
+  void on_read_response(std::size_t tix, ObjId x, Value v,
+                        std::size_t resp_index);
+  void on_tryc_invoked(std::size_t tix);
+  void on_committed(std::size_t tix);
+  void on_aborted(std::size_t tix, bool was_commit_pending);
+  void refresh_read_constraints(Read& r);
+
+  // Witness maintenance.
+  bool witness_flip(std::size_t tix, bool committed);  // true if still valid
+  bool witness_verify_read(const Read& r) const;
+  bool witness_verify_txn_reads(std::size_t tix) const;
+  void witness_move_to_end(std::size_t tix);
+  void run_full_check();
+
+  MonitorOptions opts_;
+  ObjId num_objects_ = 0;
+  std::vector<Event> events_;
+  std::vector<Txn> txns_;
+  std::map<TxnId, std::size_t> tix_of_;
+  std::vector<std::size_t> t_complete_;  // tixs, in completion order
+
+  std::vector<Read> reads_;
+  // (obj, value) -> reads returning that value / can-commit writers of it.
+  std::map<std::pair<ObjId, Value>, std::vector<std::size_t>> reads_of_;
+  std::map<std::pair<ObjId, Value>, std::vector<std::size_t>> writers_of_;
+  std::vector<std::vector<std::size_t>> committed_writers_by_obj_;
+  std::vector<std::vector<std::size_t>> reads_by_obj_;
+
+  IncrementalGraph graph_;
+
+  // Latched verdict + witness of the last kYes prefix.
+  Verdict verdict_ = Verdict::kYes;
+  std::optional<std::size_t> first_violation_;
+  std::string explanation_;
+  bool have_witness_ = true;  // the empty serialization
+  std::vector<std::size_t> worder_;
+  std::vector<std::size_t> wpos_;
+  std::vector<bool> wcommitted_;
+
+  MonitorStats stats_;
+};
+
+}  // namespace duo::monitor

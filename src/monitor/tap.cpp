@@ -1,0 +1,35 @@
+#include "monitor/tap.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace duo::monitor {
+
+std::size_t RecorderTap::poll() {
+  std::size_t fed = 0;
+  Event e;
+  while (recorder_.try_read(position_, e)) {
+    const auto r = monitor_.feed(e);
+    if (!r.has_value()) {
+      std::fprintf(stderr, "RecorderTap: malformed recorded stream: %s\n",
+                   r.error().c_str());
+      std::abort();
+    }
+    ++position_;
+    ++fed;
+  }
+  return fed;
+}
+
+void RecorderTap::pump(const std::atomic<bool>& done) {
+  for (;;) {
+    const bool finished = done.load(std::memory_order_acquire);
+    if (poll() == 0) {
+      if (finished) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace duo::monitor

@@ -1,0 +1,48 @@
+// RecorderTap: stream a live Recorder into an OnlineMonitor while the
+// recording threads are still running.
+//
+// Recorder slots are claimed with a fetch-add and published with a release
+// store of `ready`, so a reader that observes `ready` with an acquire load
+// also observes the slot's event — the tap walks the slot array in order,
+// stopping at the first unpublished slot, and therefore feeds the monitor
+// exactly the prefix Recorder::finish would produce. Checking overlaps the
+// workload instead of waiting for the run to end: the monitor's verdict is
+// typically already latched (or its witness already extended) by the time
+// the worker threads join.
+//
+// One tap drives one monitor from one thread; the concurrency is against
+// the recording threads, not between taps.
+#pragma once
+
+#include <atomic>
+
+#include "monitor/monitor.hpp"
+#include "stm/recorder.hpp"
+
+namespace duo::monitor {
+
+class RecorderTap {
+ public:
+  RecorderTap(const stm::Recorder& recorder, OnlineMonitor& monitor) noexcept
+      : recorder_(recorder), monitor_(monitor) {}
+
+  /// Feeds every contiguously published event not yet consumed; returns how
+  /// many were fed. A recorded stream is well-formed by construction, so a
+  /// feed error aborts (it indicates a recorder integration bug).
+  std::size_t poll();
+
+  /// Polls until `done` is observed true, then drains the remaining events.
+  /// Set `done` only after the recording threads have joined (their final
+  /// events are then published, so the last drain sees everything).
+  void pump(const std::atomic<bool>& done);
+
+  /// Events fed to the monitor so far.
+  std::size_t position() const noexcept { return position_; }
+
+ private:
+  const stm::Recorder& recorder_;
+  OnlineMonitor& monitor_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace duo::monitor

@@ -3,8 +3,11 @@
 namespace duo::stm {
 
 History Recorder::finish(ObjId num_objects) const {
-  const std::size_t n = next_.load(std::memory_order_acquire);
-  DUO_ASSERT(n <= slots_.size());
+  // Slots are claimed in order, so on overflow the retained slots are a
+  // prefix of the recorded linearization — and a prefix of a well-formed
+  // history is well-formed.
+  const std::size_t n =
+      std::min(next_.load(std::memory_order_acquire), slots_.size());
   std::vector<Event> events;
   events.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {

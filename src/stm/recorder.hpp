@@ -10,6 +10,7 @@
 // its sequence number is smaller.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -27,27 +28,51 @@ using history::Value;
 
 class Recorder {
  public:
-  /// `capacity` bounds the number of events; recording past it aborts the
-  /// process (tests size their runs).
+  /// `capacity` bounds the number of events; recording past it sets the
+  /// sticky `overflowed` flag and drops the excess instead of aborting, so
+  /// `finish` yields the (well-formed) truncated prefix and callers can
+  /// report a verdict qualified to the first `capacity` events.
   explicit Recorder(std::size_t capacity) : slots_(capacity) {}
 
   /// Record an event; thread-safe, wait-free (one fetch_add + one store).
   void record(const Event& e) noexcept {
     const std::size_t i = next_.fetch_add(1, std::memory_order_seq_cst);
-    DUO_ASSERT(i < slots_.size());
+    if (i >= slots_.size()) {
+      overflowed_.store(true, std::memory_order_release);
+      return;
+    }
     slots_[i].event = e;
     slots_[i].ready.store(true, std::memory_order_release);
   }
 
-  /// Number of events recorded so far (racy while threads run; exact after
-  /// they join).
+  /// Number of events retained so far, clamped to capacity (racy while
+  /// threads run; exact after they join).
   std::size_t count() const noexcept {
-    return next_.load(std::memory_order_acquire);
+    return std::min(next_.load(std::memory_order_acquire), slots_.size());
   }
 
-  /// Build the recorded History. Call only after all recording threads have
-  /// joined. Aborts on a malformed recording — an STM whose per-thread event
-  /// stream is not well-formed has a recorder integration bug.
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// True once any event was dropped for lack of capacity. Sticky; every
+  /// verdict on the recording then covers only the truncated prefix.
+  bool overflowed() const noexcept {
+    return overflowed_.load(std::memory_order_acquire);
+  }
+
+  /// Read the event in slot `i` if it has been published. Safe to call
+  /// while recording threads run (slots are published with a release store
+  /// of `ready`); used by monitor::RecorderTap to check a live run.
+  bool try_read(std::size_t i, Event& out) const noexcept {
+    if (i >= slots_.size()) return false;
+    if (!slots_[i].ready.load(std::memory_order_acquire)) return false;
+    out = slots_[i].event;
+    return true;
+  }
+
+  /// Build the recorded History — the truncated prefix when the recorder
+  /// overflowed. Call only after all recording threads have joined. Aborts
+  /// on a malformed recording — an STM whose per-thread event stream is not
+  /// well-formed has a recorder integration bug.
   History finish(ObjId num_objects) const;
 
   /// Disabled recorder convenience: a null recorder records nothing.
@@ -60,6 +85,7 @@ class Recorder {
   };
   std::vector<Slot> slots_;
   std::atomic<std::size_t> next_{0};
+  std::atomic<bool> overflowed_{false};
 };
 
 /// RAII helper used by the STM implementations: records the invocation on

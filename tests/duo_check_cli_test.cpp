@@ -176,6 +176,112 @@ TEST_F(DuoCheckCli, BatchInputErrorDominatesExitCode) {
   EXPECT_NE(stdout_.find("ERROR"), std::string::npos) << stdout_;
 }
 
+TEST_F(DuoCheckCli, CriterionFlagSelectsTheChecker) {
+  // Figure 3's full history separates the criteria: final-state opaque and
+  // strictly serializable, but neither opaque nor du-opaque.
+  const auto trace = write_trace("fig3.txt", kViolating);
+  EXPECT_EQ(run("--criterion final-state-opacity " + trace), 0) << stdout_;
+  EXPECT_NE(stdout_.find("final-state-opacity: yes"), std::string::npos)
+      << stdout_;
+  EXPECT_EQ(run("--criterion opacity " + trace), 2) << stdout_;
+  EXPECT_NE(stdout_.find("opacity: no"), std::string::npos) << stdout_;
+  EXPECT_EQ(run("--criterion sser " + trace), 0) << stdout_;
+  // Short alias for the default criterion keeps the du output.
+  EXPECT_EQ(run("--criterion du " + trace), 2);
+  EXPECT_NE(stdout_.find("du-opacity violated"), std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, CriterionFlagWiresIntoBatchMode) {
+  const auto a = write_trace("a.txt", kOpaque);
+  const auto b = write_trace("b.txt", kViolating);
+  EXPECT_EQ(run("--criterion fso " + a + " " + b + " --jobs 2"), 0)
+      << stdout_;
+  EXPECT_NE(stdout_.find("a.txt: ok (final-state-opacity)"),
+            std::string::npos)
+      << stdout_;
+  EXPECT_NE(stdout_.find("b.txt: ok (final-state-opacity)"),
+            std::string::npos)
+      << stdout_;
+  EXPECT_EQ(run("--criterion opacity " + a + " " + b), 2) << stdout_;
+  EXPECT_NE(stdout_.find("b.txt: VIOLATION"), std::string::npos) << stdout_;
+}
+
+TEST_F(DuoCheckCli, UnknownCriterionExitsOne) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run("--criterion bogus " + trace), 1);
+}
+
+TEST_F(DuoCheckCli, StreamModeAcceptsCleanStdin) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run("--stream - < " + trace), 0) << stdout_;
+  EXPECT_NE(stdout_.find("stream du-opaque after 8 events"),
+            std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, StreamModeReportsFirstViolatingEvent) {
+  // One token per line, as a live writer would emit them. The read response
+  // is the 4th event: no writer with tryC invoked can have produced the 1.
+  const auto trace =
+      write_trace("bad.txt", "W1(X0,1)\nR2(X0)=1\nC1\nC2\n");
+  EXPECT_EQ(run("--stream " + trace), 2) << stdout_;
+  EXPECT_NE(stdout_.find("VIOLATION at event 4"), std::string::npos)
+      << stdout_;
+  EXPECT_NE(stdout_.find("no transaction that can commit"),
+            std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, StreamModeAgreesWithOfflineOnEventLevelTokens) {
+  // Event-level tokens split invocations from responses; du-opaque because
+  // T1's tryC is invoked before T2's read responds.
+  const auto trace = write_trace(
+      "split.txt", "W1?(X0,5)\nW1!(X0)\nC1?\nR2?(X0)\nR2!(X0)=5\nC1!\nC2\n");
+  EXPECT_EQ(run("--stream " + trace), 0) << stdout_;
+}
+
+TEST_F(DuoCheckCli, StreamModeRejectsMalformedStream) {
+  const auto trace = write_trace("garbage.txt", "R2!(X0)=1\n");
+  EXPECT_EQ(run("--stream " + trace), 1);  // response without invocation
+  const auto parse = write_trace("parse.txt", "@@@\n");
+  EXPECT_EQ(run("--stream " + parse), 1);
+}
+
+TEST_F(DuoCheckCli, StreamModeHonorsObjectDeclarations) {
+  // objects=N must be enforced like the offline parser enforces it, even
+  // when the declaration and the violating event arrive on different lines.
+  const auto bad = write_trace("decl.txt", "objects=1\nW1(X5,1)\nC1\n");
+  EXPECT_EQ(run("--stream " + bad), 1);
+  EXPECT_EQ(run(bad), 1);  // offline agrees
+  const auto late = write_trace("late.txt", "W1(X5,1) C1\nobjects=1\n");
+  EXPECT_EQ(run("--stream " + late), 1);
+  const auto ok = write_trace("declok.txt", "objects=6\nW1(X5,1)\nC1\n");
+  EXPECT_EQ(run("--stream " + ok), 0) << stdout_;
+}
+
+TEST_F(DuoCheckCli, StreamModeRefusesNonPrefixClosedCriteria) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run("--stream --criterion fso " + trace), 1);
+  EXPECT_EQ(run("--stream --criterion du " + trace), 0);
+}
+
+TEST_F(DuoCheckCli, FollowModeDrainsAGrowingFileUntilIdle) {
+  // The file is complete before the run; --follow must drain it and stop
+  // once it sees no growth for --idle-ms.
+  const auto trace = write_trace("grow.txt", "W1(X0,1)\nC1\nR2(X0)=1\nC2\n");
+  EXPECT_EQ(run("--stream --follow --idle-ms 50 " + trace), 0) << stdout_;
+  EXPECT_NE(stdout_.find("stream du-opaque after 8 events"),
+            std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, FollowRequiresStreamAndAFile) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run("--follow " + trace), 1);
+  EXPECT_EQ(run("--stream --follow - < " + trace), 1);
+}
+
 TEST_F(DuoCheckCli, JobsCountsAreVerdictInvariant) {
   // The same batch must yield the same per-file verdicts for any --jobs.
   const auto a = write_trace("a.txt", kOpaque);

@@ -1,0 +1,125 @@
+// Concurrent monitoring: a RecorderTap drains Recorder slots and drives an
+// OnlineMonitor while the workload threads are still running. The final
+// verdict must match the offline checker on the finished recording, the tap
+// must consume exactly the events finish() sees, and the whole arrangement
+// must be data-race-free (this test is part of the ThreadSanitizer CI job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "checker/du_opacity.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/tap.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+#include "stm/workload.hpp"
+
+namespace duo::monitor {
+namespace {
+
+using checker::Verdict;
+
+struct TapRun {
+  Verdict verdict = Verdict::kUnknown;
+  std::size_t fed = 0;
+  history::History recording;
+  MonitorStats stats;
+};
+
+TapRun run_with_tap(stm::Stm& s, stm::Recorder& rec,
+                    const stm::WorkloadOptions& wopts) {
+  OnlineMonitor mon;
+  RecorderTap tap(rec, mon);
+  std::atomic<bool> done{false};
+  std::thread workload([&] {
+    stm::run_random_mix(s, wopts);
+    done.store(true, std::memory_order_release);
+  });
+  tap.pump(done);
+  workload.join();
+  return TapRun{mon.verdict(), tap.position(), rec.finish(s.num_objects()),
+                mon.stats()};
+}
+
+TEST(RecorderTap, ChecksLiveTl2RunAndAgreesWithOffline) {
+  stm::Recorder rec(1 << 14);
+  stm::Tl2Stm s(4, &rec);
+  stm::WorkloadOptions wopts;
+  wopts.threads = 3;
+  wopts.txns_per_thread = 20;
+  wopts.ops_per_txn = 3;
+  wopts.objects = 4;
+  wopts.seed = 2026;
+  const auto run = run_with_tap(s, rec, wopts);
+  EXPECT_EQ(run.fed, run.recording.size());
+  EXPECT_EQ(run.fed, rec.count());
+  // TL2 is du-opaque by construction; the tap must agree with the offline
+  // verdict on the full recording either way.
+  const auto offline = checker::check_du_opacity(run.recording);
+  EXPECT_EQ(run.verdict, offline.verdict);
+  EXPECT_EQ(run.verdict, Verdict::kYes);
+}
+
+TEST(RecorderTap, FaultyTl2RunAgreesWithOffline) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    stm::Recorder rec(1 << 14);
+    stm::Tl2Options o;
+    o.faulty_skip_read_validation = true;
+    stm::Tl2Stm s(2, &rec, o);
+    stm::WorkloadOptions wopts;
+    wopts.threads = 3;
+    wopts.txns_per_thread = 10;
+    wopts.ops_per_txn = 2;
+    wopts.objects = 2;
+    wopts.write_fraction = 0.7;
+    wopts.seed = seed;
+    const auto run = run_with_tap(s, rec, wopts);
+    EXPECT_EQ(run.fed, run.recording.size());
+    const auto offline = checker::check_du_opacity(run.recording);
+    EXPECT_EQ(run.verdict, offline.verdict) << "seed " << seed;
+  }
+}
+
+TEST(RecorderTap, ConcurrentNorecRunStaysOnFastPathMostly) {
+  stm::Recorder rec(1 << 14);
+  stm::NorecStm s(4, &rec);
+  stm::WorkloadOptions wopts;
+  wopts.threads = 2;
+  wopts.txns_per_thread = 25;
+  wopts.ops_per_txn = 2;
+  wopts.objects = 4;
+  wopts.seed = 7;
+  const auto run = run_with_tap(s, rec, wopts);
+  EXPECT_EQ(run.verdict, Verdict::kYes);
+  // The point of the subsystem: checking cost scales with events fed, so
+  // the vast majority of events must resolve on the fast path (witness
+  // extension or repair), not through the bounded search.
+  EXPECT_EQ(run.stats.events, run.fed);
+  EXPECT_EQ(run.stats.fast_yes + run.stats.full_checks, run.stats.events);
+  EXPECT_LE(run.stats.full_checks, run.stats.events / 10);
+}
+
+TEST(RecorderTap, OverflowTruncatesTheTapAndTheVerdict) {
+  // A recorder too small for the run: the tap must stop at capacity and the
+  // monitor verdict must match the offline verdict on the truncated prefix.
+  stm::Recorder rec(64);
+  stm::Tl2Stm s(2, &rec);
+  stm::WorkloadOptions wopts;
+  wopts.threads = 2;
+  wopts.txns_per_thread = 20;
+  wopts.ops_per_txn = 2;
+  wopts.objects = 2;
+  wopts.seed = 42;
+  const auto run = run_with_tap(s, rec, wopts);
+  EXPECT_TRUE(rec.overflowed());
+  EXPECT_EQ(rec.count(), rec.capacity());
+  EXPECT_EQ(run.fed, rec.capacity());
+  EXPECT_EQ(run.recording.size(), rec.capacity());
+  const auto offline = checker::check_du_opacity(run.recording);
+  EXPECT_EQ(run.verdict, offline.verdict);
+}
+
+}  // namespace
+}  // namespace duo::monitor

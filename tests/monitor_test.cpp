@@ -1,0 +1,219 @@
+// OnlineMonitor tests: latching behavior, the witness fast path, and the
+// core equivalence property — for every prefix of every history, the
+// monitor's verdict equals check_all_prefixes with du_opacity_fn. Histories
+// come from the random generators (including mutants around the du
+// boundary) and from recorded multithreaded runs of every STM in the
+// repository, including the fault-injected TL2.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/du_opacity.hpp"
+#include "checker/prefix_closure.hpp"
+#include "gen/generator.hpp"
+#include "history/figures.hpp"
+#include "history/parser.hpp"
+#include "history/printer.hpp"
+#include "monitor/monitor.hpp"
+#include "stm/norec.hpp"
+#include "stm/pessimistic.hpp"
+#include "stm/tl2.hpp"
+#include "stm/tml.hpp"
+#include "stm/workload.hpp"
+
+namespace duo::monitor {
+namespace {
+
+using checker::Verdict;
+using history::History;
+
+// Feeds every event of `h` and checks the monitor verdict after each
+// against the offline per-prefix re-check; also checks the latch index
+// against the offline first_no.
+void expect_matches_offline(const History& h) {
+  const auto report = checker::check_all_prefixes(h, checker::du_opacity_fn());
+  OnlineMonitor mon;
+  ASSERT_EQ(mon.verdict(), report.verdicts[0]) << history::compact(h);
+  for (std::size_t n = 0; n < h.size(); ++n) {
+    const auto fed = mon.feed(h.events()[n]);
+    ASSERT_TRUE(fed.has_value()) << fed.error();
+    ASSERT_EQ(fed.value(), report.verdicts[n + 1])
+        << "prefix " << n + 1 << " of " << history::compact(h);
+  }
+  if (report.first_no.has_value()) {
+    ASSERT_TRUE(mon.first_violation().has_value()) << history::compact(h);
+    EXPECT_EQ(*mon.first_violation(), *report.first_no)
+        << history::compact(h);
+  } else {
+    EXPECT_FALSE(mon.first_violation().has_value()) << history::compact(h);
+  }
+}
+
+OnlineMonitor feed_all(const History& h) {
+  OnlineMonitor mon;
+  for (const auto& e : h.events()) {
+    const auto fed = mon.feed(e);
+    EXPECT_TRUE(fed.has_value()) << fed.error();
+  }
+  return mon;
+}
+
+TEST(OnlineMonitor, EmptyPrefixIsDuOpaque) {
+  OnlineMonitor mon;
+  EXPECT_EQ(mon.verdict(), Verdict::kYes);
+  EXPECT_EQ(mon.events_fed(), 0u);
+  EXPECT_FALSE(mon.first_violation().has_value());
+}
+
+TEST(OnlineMonitor, LatchesAtFirstBadEventAndStaysLatched) {
+  // Figure 3's shape: T2 reads T1's value before T1 invokes tryC. The read
+  // response (event 4) already has no can-commit writer, so the latch must
+  // land there — the witness of the 3-event prefix cannot be extended.
+  const auto h =
+      history::parse_history_or_die("W1(X0,1) R2(X0)=1 C1 C2");
+  auto mon = feed_all(h);
+  EXPECT_EQ(mon.verdict(), Verdict::kNo);
+  ASSERT_TRUE(mon.first_violation().has_value());
+  EXPECT_EQ(*mon.first_violation(), 4u);
+  EXPECT_FALSE(mon.explanation().empty());
+  EXPECT_TRUE(mon.stats().latched_by_fast_reject);
+  // Latched verdicts are permanent per prefix closure; later events keep
+  // the first violation index.
+  expect_matches_offline(h);
+}
+
+TEST(OnlineMonitor, DuOpaqueTraceStaysOnTheWitnessFastPath) {
+  const auto h =
+      history::parse_history_or_die("W1(X0,1) C1 R2(X0)=1 W2(X1,2) C2");
+  auto mon = feed_all(h);
+  EXPECT_EQ(mon.verdict(), Verdict::kYes);
+  // Every event must resolve without a fallback search: the witness of the
+  // empty prefix extends step by step.
+  EXPECT_EQ(mon.stats().full_checks, 0u) << mon.stats().events;
+  EXPECT_EQ(mon.stats().fast_yes, h.size());
+}
+
+TEST(OnlineMonitor, ObjectSpaceGrowsWithTheStream) {
+  OnlineMonitor mon;
+  EXPECT_EQ(mon.num_objects(), 0);
+  ASSERT_TRUE(mon.feed(history::Event::inv_write(1, 7, 5)).has_value());
+  EXPECT_EQ(mon.num_objects(), 8);
+}
+
+TEST(OnlineMonitor, FixedObjectSpaceRejectsOutOfRange) {
+  MonitorOptions opts;
+  opts.num_objects = 2;
+  OnlineMonitor mon(opts);
+  EXPECT_FALSE(mon.feed(history::Event::inv_read(1, 2)).has_value());
+  EXPECT_EQ(mon.events_fed(), 0u);
+}
+
+TEST(OnlineMonitor, MalformedEventIsRejectedAndDiscarded) {
+  OnlineMonitor mon;
+  // Response without a pending invocation.
+  const auto bad = mon.feed(history::Event::resp_commit(1));
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().find("response without pending invocation"),
+            std::string::npos);
+  EXPECT_EQ(mon.events_fed(), 0u);
+  // The monitor stays usable.
+  EXPECT_TRUE(mon.feed(history::Event::inv_tryc(1)).has_value());
+  EXPECT_TRUE(mon.feed(history::Event::resp_commit(1)).has_value());
+  EXPECT_EQ(mon.verdict(), Verdict::kYes);
+}
+
+TEST(OnlineMonitor, RepeatedReadRejectedLikeHistoryMake) {
+  OnlineMonitor mon;
+  ASSERT_TRUE(mon.feed(history::Event::inv_read(1, 0)).has_value());
+  ASSERT_TRUE(mon.feed(history::Event::resp_read(1, 0, 0)).has_value());
+  EXPECT_FALSE(mon.feed(history::Event::inv_read(1, 0)).has_value());
+}
+
+TEST(OnlineMonitor, PaperFiguresMatchOffline) {
+  expect_matches_offline(history::figures::fig1());
+  expect_matches_offline(history::figures::fig3());
+  expect_matches_offline(history::figures::fig4());
+}
+
+TEST(OnlineMonitor, HistoryRoundTripsWhatWasFed) {
+  const auto h = history::parse_history_or_die("W1(X0,1) C1 R2(X0)=1 C2");
+  auto mon = feed_all(h);
+  EXPECT_TRUE(mon.history().equivalent_to(h));
+  EXPECT_EQ(mon.history().size(), h.size());
+}
+
+// -- equivalence property over generated histories --------------------------
+
+class MonitorEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonitorEquivalence, GeneratedHistoriesMatchOffline) {
+  util::Xoshiro256 rng(GetParam());
+  gen::GenOptions opts;
+  opts.num_txns = 5;
+  opts.num_objects = 2;
+  opts.value_range = 2;
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto h = (iter % 2 == 0) ? gen::random_history(opts, rng)
+                                   : gen::random_du_history(opts, rng);
+    expect_matches_offline(h);
+  }
+}
+
+TEST_P(MonitorEquivalence, MutantsMatchOffline) {
+  util::Xoshiro256 rng(GetParam() * 131 + 17);
+  gen::GenOptions opts;
+  opts.num_txns = 4;
+  opts.num_objects = 2;
+  for (int iter = 0; iter < 10; ++iter) {
+    auto h = gen::random_du_history(opts, rng);
+    h = gen::mutate(h, rng);
+    expect_matches_offline(h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorEquivalence,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+// -- equivalence property over recorded STM executions -----------------------
+
+std::unique_ptr<stm::Stm> make_stm(const std::string& name, ObjId objects,
+                                   stm::Recorder* rec) {
+  if (name == "norec") return std::make_unique<stm::NorecStm>(objects, rec);
+  if (name == "tml") return std::make_unique<stm::TmlStm>(objects, rec);
+  if (name == "pessimistic")
+    return std::make_unique<stm::PessimisticStm>(objects, rec);
+  if (name == "tl2-faulty") {
+    stm::Tl2Options o;
+    o.faulty_skip_read_validation = true;
+    return std::make_unique<stm::Tl2Stm>(objects, rec, o);
+  }
+  return std::make_unique<stm::Tl2Stm>(objects, rec);
+}
+
+class MonitorRecordingEquivalence
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MonitorRecordingEquivalence, RecordedRunsMatchOffline) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    stm::Recorder rec(1 << 12);
+    auto s = make_stm(GetParam(), 3, &rec);
+    stm::WorkloadOptions wopts;
+    wopts.threads = 2;
+    wopts.txns_per_thread = 2;
+    wopts.ops_per_txn = 2;
+    wopts.objects = 3;
+    wopts.write_fraction = 0.6;
+    wopts.seed = seed;
+    stm::run_random_mix(*s, wopts);
+    const auto h = rec.finish(s->num_objects());
+    expect_matches_offline(h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stms, MonitorRecordingEquivalence,
+                         ::testing::Values("tl2", "norec", "tml",
+                                           "pessimistic", "tl2-faulty"));
+
+}  // namespace
+}  // namespace duo::monitor

@@ -87,6 +87,58 @@ TEST(Recorder, CrossThreadHappensBeforeRespected) {
   EXPECT_TRUE(h.rt_precedes(h.tix_of(1), h.tix_of(2)));
 }
 
+TEST(Recorder, OverflowIsStickyAndTruncatesInsteadOfAborting) {
+  // Regression: capacity overflow used to hard-abort the process. It must
+  // instead set the sticky flag, clamp count(), and finish() with the
+  // well-formed truncated prefix.
+  Recorder rec(4);
+  EXPECT_FALSE(rec.overflowed());
+  rec.record(Event::inv_write(1, 0, 5));
+  rec.record(Event::resp_write_ok(1, 0));
+  rec.record(Event::inv_tryc(1));
+  rec.record(Event::resp_commit(1));
+  EXPECT_FALSE(rec.overflowed());
+  rec.record(Event::inv_tryc(2));  // over capacity: dropped
+  rec.record(Event::resp_commit(2));
+  EXPECT_TRUE(rec.overflowed());
+  EXPECT_EQ(rec.count(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  const auto h = rec.finish(1);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_FALSE(h.participates(2));
+}
+
+TEST(Recorder, ConcurrentOverflowKeepsAWellFormedPrefix) {
+  // Slots are claimed in order, so the retained events are a prefix of the
+  // recorded linearization even when many threads overflow at once —
+  // finish() would abort if the truncation broke well-formedness.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 100;
+  Recorder rec(64);
+  util::run_threads(kThreads, [&](std::size_t tid) {
+    const auto id = static_cast<TxnId>(tid + 1);
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+      rec.record(Event::inv_write(id, 0, static_cast<Value>(i)));
+      rec.record(Event::resp_write_ok(id, 0));
+    }
+  });
+  EXPECT_TRUE(rec.overflowed());
+  EXPECT_EQ(rec.count(), 64u);
+  const auto h = rec.finish(1);
+  EXPECT_EQ(h.size(), 64u);
+}
+
+TEST(Recorder, TryReadExposesPublishedSlots) {
+  Recorder rec(4);
+  Event out;
+  EXPECT_FALSE(rec.try_read(0, out));
+  rec.record(Event::inv_tryc(3));
+  ASSERT_TRUE(rec.try_read(0, out));
+  EXPECT_EQ(out.txn, 3);
+  EXPECT_FALSE(rec.try_read(1, out));
+  EXPECT_FALSE(rec.try_read(99, out));  // out of capacity: never published
+}
+
 TEST(OpScope, NullRecorderIsNoop) {
   OpScope scope(nullptr, Event::inv_tryc(1));
   scope.respond(Event::resp_commit(1));  // must not crash

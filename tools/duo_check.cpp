@@ -11,18 +11,34 @@
 // traces are checked concurrently through a CheckerPool and one verdict
 // line is printed per trace, in input order, followed by a summary.
 //
+// Streaming (--stream): events are read line by line from stdin or a file
+// and fed to an OnlineMonitor, which maintains the du-opacity verdict
+// incrementally and latches at the first violating event (sound because
+// du-opacity is prefix-closed, paper Corollary 2). With --follow the file
+// is polled for growth, so a live run writing its trace can be watched as
+// it executes.
+//
 // Usage:
 //   duo_check trace.txt
 //   duo_check traces/ more/a.txt more/b.txt --jobs 8
 //   echo "W1(X0,1) C1? R2(X0)=1 W3(X0,1) C3 C1!=A" | duo_check -
+//   tail_of_live_run | duo_check --stream -
+//   duo_check --stream growing-trace.txt --follow
 //
 // Options:
-//   --jobs N, -j N   worker threads in batch mode (default: hardware)
-//   --budget N       DFS node budget per check; exhausting it yields an
-//                    explicit "unknown" verdict instead of a long search
+//   --jobs N, -j N    worker threads in batch mode (default: hardware)
+//   --budget N        DFS node budget per check; exhausting it yields an
+//                     explicit "unknown" verdict instead of a long search
+//   --criterion NAME  criterion to judge under (default du-opacity):
+//                     final-state-opacity|fso, opacity, du-opacity|du,
+//                     rco-opacity|rco, tms2, strict-serializability|sser
+//   --stream          incremental monitoring mode (single input, du only)
+//   --follow          with --stream on a file: poll for appended events
+//                     until the file stops growing for --idle-ms
+//   --idle-ms N       --follow idle cutoff in milliseconds (default 2000)
 //
-// Exit code: 0 if every input is du-opaque, 2 if any is not (or is
-// undecided within budget), 1 on usage/input errors.
+// Exit code: 0 if every input satisfies the criterion, 2 if any does not
+// (or is undecided within budget), 1 on usage/input errors.
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -36,11 +52,15 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "checker/du_opacity.hpp"
 #include "checker/pool.hpp"
 #include "checker/verdict.hpp"
 #include "history/parser.hpp"
 #include "history/printer.hpp"
+#include "monitor/monitor.hpp"
 
 namespace {
 
@@ -50,16 +70,24 @@ struct Options {
   std::vector<std::string> inputs;  // files or "-" (directories expanded)
   std::size_t jobs = 0;             // 0 = hardware concurrency
   std::uint64_t node_budget = duo::checker::DuOpacityOptions{}.node_budget;
+  duo::checker::Criterion criterion = duo::checker::Criterion::kDuOpacity;
+  bool criterion_set = false;  // --criterion given explicitly
   /// Batch output even for a single trace: set when the user passed a
   /// directory or several arguments, so the output format depends on what
   /// was asked for, not on how many files a directory happened to hold.
   bool batch = false;
+  // Streaming mode.
+  bool stream = false;
+  bool follow = false;
+  std::uint64_t idle_ms = 2000;
 };
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: duo_check [--jobs N] [--budget N] "
+               "usage: duo_check [--jobs N] [--budget N] [--criterion NAME] "
                "<trace-file|directory|->...\n"
+               "       duo_check --stream [--follow] [--idle-ms N] "
+               "<trace-file|->\n"
                "trace format: W1(X0,1) R2(X0)=1 C1 C2 ... "
                "(see src/history/parser.hpp)\n");
 }
@@ -136,7 +164,34 @@ bool parse_args(int argc, char** argv, Options& opts) {
       print_usage(stdout);
       std::exit(0);
     }
-    if (arg == "--jobs" || arg == "-j" || arg == "--budget") {
+    if (arg == "--stream") {
+      opts.stream = true;
+      continue;
+    }
+    if (arg == "--follow") {
+      opts.follow = true;
+      continue;
+    }
+    if (arg == "--criterion") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "duo_check: %s requires a value\n", arg.c_str());
+        return false;
+      }
+      const auto c = duo::checker::criterion_from_name(argv[++i]);
+      if (!c.has_value()) {
+        std::fprintf(stderr, "duo_check: unknown criterion: %s\n", argv[i]);
+        std::fprintf(stderr, "known criteria:");
+        for (const auto known : duo::checker::all_criteria())
+          std::fprintf(stderr, " %s", duo::checker::to_string(known).c_str());
+        std::fprintf(stderr, "\n");
+        return false;
+      }
+      opts.criterion = *c;
+      opts.criterion_set = true;
+      continue;
+    }
+    if (arg == "--jobs" || arg == "-j" || arg == "--budget" ||
+        arg == "--idle-ms") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "duo_check: %s requires a value\n", arg.c_str());
         return false;
@@ -149,6 +204,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
       }
       if (arg == "--budget") {
         opts.node_budget = value;
+      } else if (arg == "--idle-ms") {
+        opts.idle_ms = value;
       } else {
         opts.jobs = static_cast<std::size_t>(value);
       }
@@ -164,7 +221,133 @@ bool parse_args(int argc, char** argv, Options& opts) {
     print_usage(stderr);
     return false;
   }
+  if (opts.stream) {
+    if (raw_inputs.size() != 1) {
+      std::fprintf(stderr, "duo_check: --stream takes exactly one input\n");
+      return false;
+    }
+    if (opts.criterion_set &&
+        opts.criterion != duo::checker::Criterion::kDuOpacity) {
+      std::fprintf(stderr,
+                   "duo_check: --stream monitors du-opacity only (the "
+                   "prefix-closed criterion that makes latching sound)\n");
+      return false;
+    }
+    if (opts.follow && raw_inputs[0] == "-") {
+      std::fprintf(stderr, "duo_check: --follow requires a file input\n");
+      return false;
+    }
+    opts.inputs = raw_inputs;
+    return true;
+  }
+  if (opts.follow) {
+    std::fprintf(stderr, "duo_check: --follow requires --stream\n");
+    return false;
+  }
   return expand_inputs(raw_inputs, opts);
+}
+
+/// Incremental monitoring (--stream): parse events line by line, feed them
+/// to an OnlineMonitor, and stop at the first violating event — sound
+/// because du-opacity is prefix-closed, so the latched "no" covers every
+/// extension of the stream. With --follow, EOF on the file is treated as
+/// "not written yet" until the input stops growing for opts.idle_ms.
+int check_stream(const Options& opts) {
+  using duo::checker::Verdict;
+  const std::string& path = opts.inputs[0];
+  const bool from_stdin = path == "-";
+  std::ifstream file;
+  if (!from_stdin) {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "duo_check: cannot read %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = from_stdin ? std::cin : file;
+
+  duo::monitor::MonitorOptions mopts;
+  mopts.node_budget = opts.node_budget;
+  duo::monitor::OnlineMonitor mon(mopts);
+
+  // `objects=N` declarations are honored across lines exactly like the
+  // offline parser honors them across tokens: the latest declaration wins
+  // and an object id at or beyond it is an input error.
+  duo::history::ObjId declared_objects = -1;
+  duo::history::ObjId max_obj = -1;
+  const auto feed_tokens = [&](const std::string& text) -> int {
+    auto parsed = duo::history::parse_events(text);
+    if (!parsed) {
+      std::fprintf(stderr, "duo_check: parse error: %s\n",
+                   parsed.error().c_str());
+      return 1;
+    }
+    if (parsed.value().declared_objects >= 0)
+      declared_objects = parsed.value().declared_objects;
+    max_obj = std::max(max_obj, parsed.value().max_obj);
+    if (declared_objects >= 0 && max_obj >= declared_objects) {
+      std::fprintf(stderr,
+                   "duo_check: objects= declares fewer objects than used\n");
+      return 1;
+    }
+    for (const auto& e : parsed.value().events) {
+      const auto fed = mon.feed(e);
+      if (!fed.has_value()) {
+        std::fprintf(stderr, "duo_check: malformed event stream: %s\n",
+                     fed.error().c_str());
+        return 1;
+      }
+      if (fed.value() == Verdict::kNo) {
+        std::printf("VIOLATION at event %zu (%s): %s\n",
+                    *mon.first_violation(),
+                    duo::history::to_string(e).c_str(),
+                    mon.explanation().c_str());
+        return 2;
+      }
+    }
+    return 0;
+  };
+
+  // --follow: a line read at EOF may still be partial (no newline yet), so
+  // it is carried and re-joined once the writer appends the rest.
+  std::string carry;
+  auto last_growth = std::chrono::steady_clock::now();
+  for (;;) {
+    std::string line;
+    if (std::getline(in, line)) {
+      last_growth = std::chrono::steady_clock::now();
+      if (opts.follow && in.eof()) {
+        carry += line;
+        in.clear();
+        continue;
+      }
+      if (const int rc = feed_tokens(carry + line); rc != 0) return rc;
+      carry.clear();
+      continue;
+    }
+    if (!opts.follow) break;
+    in.clear();
+    const auto idle = std::chrono::steady_clock::now() - last_growth;
+    if (idle >= std::chrono::milliseconds(opts.idle_ms)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  if (!carry.empty()) {
+    if (const int rc = feed_tokens(carry); rc != 0) return rc;
+  }
+
+  const auto& stats = mon.stats();
+  if (mon.verdict() == Verdict::kYes) {
+    std::printf("stream du-opaque after %zu events "
+                "(%zu fast-path, %zu witness checks, %zu repairs, "
+                "%zu full checks)\n",
+                stats.events, stats.fast_yes, stats.witness_checks,
+                stats.witness_repairs, stats.full_checks);
+    return 0;
+  }
+  std::printf("stream undecided after %zu events (search budget exhausted; "
+              "retry with a larger --budget)\n",
+              stats.events);
+  return 2;
 }
 
 /// Detailed single-trace report (the original duo_check output).
@@ -184,6 +367,21 @@ int check_single(const std::string& path, const Options& opts) {
 
   std::printf("%s\n%s\n", duo::history::summary(h).c_str(),
               duo::history::timeline(h).c_str());
+
+  // An explicit non-default criterion runs exactly that checker — no
+  // evaluate_all sweep, so --budget bounds the work the user asked for,
+  // not five other exponential searches.
+  if (opts.criterion_set &&
+      opts.criterion != duo::checker::Criterion::kDuOpacity) {
+    const auto r =
+        duo::checker::check_criterion(h, opts.criterion, opts.node_budget);
+    const std::string name = duo::checker::to_string(opts.criterion);
+    std::printf("%s: %s\n", name.c_str(),
+                duo::checker::to_string(r.verdict).c_str());
+    if (r.no() && !r.explanation.empty())
+      std::printf("%s violated: %s\n", name.c_str(), r.explanation.c_str());
+    return r.yes() ? 0 : 2;
+  }
 
   const auto v = duo::checker::evaluate_all(h, opts.node_budget);
   std::printf("verdicts: %s\n", v.to_string().c_str());
@@ -240,6 +438,7 @@ int check_batch(const Options& opts) {
 
   duo::checker::PoolOptions popts;
   popts.num_threads = opts.jobs;
+  popts.criterion = opts.criterion;
   popts.check.node_budget = opts.node_budget;
   duo::checker::CheckerPool pool(popts);
   const auto results = pool.check_batch(histories);
@@ -248,6 +447,10 @@ int check_batch(const Options& opts) {
   for (std::size_t j = 0; j < results.size(); ++j)
     by_input[history_input[j]] = &results[j];
 
+  const bool du = opts.criterion == duo::checker::Criterion::kDuOpacity;
+  const std::string ok_label =
+      du ? "du-opaque"
+         : "ok (" + duo::checker::to_string(opts.criterion) + ")";
   std::size_t ok = 0, violated = 0, undecided = 0, failed = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!errors[i].empty()) {
@@ -259,7 +462,7 @@ int check_batch(const Options& opts) {
     const auto& r = *by_input[i];
     if (r.yes()) {
       ++ok;
-      std::printf("%s: du-opaque\n", opts.inputs[i].c_str());
+      std::printf("%s: %s\n", opts.inputs[i].c_str(), ok_label.c_str());
     } else if (r.no()) {
       ++violated;
       std::printf("%s: VIOLATION%s%s\n", opts.inputs[i].c_str(),
@@ -274,9 +477,10 @@ int check_batch(const Options& opts) {
   }
   // The pool clamps workers to the batch size; report what actually ran.
   const std::size_t jobs_used = std::min(pool.num_threads(), histories.size());
-  std::printf("checked %zu traces (%zu jobs): %zu du-opaque, %zu violations, "
+  const char* ok_word = du ? "du-opaque" : "ok";
+  std::printf("checked %zu traces (%zu jobs): %zu %s, %zu violations, "
               "%zu unknown, %zu errors\n",
-              n, jobs_used, ok, violated, undecided, failed);
+              n, jobs_used, ok, ok_word, violated, undecided, failed);
   if (failed > 0) return 1;
   return (violated > 0 || undecided > 0) ? 2 : 0;
 }
@@ -286,6 +490,7 @@ int check_batch(const Options& opts) {
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return 1;
+  if (opts.stream) return check_stream(opts);
   if (!opts.batch && opts.inputs.size() == 1)
     return check_single(opts.inputs[0], opts);
   return check_batch(opts);

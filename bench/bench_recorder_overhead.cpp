@@ -1,43 +1,55 @@
-// Recorder-overhead ablation: the same TL2 workload with recording off and
-// on. The recorder claims one seq-cst fetch-add per event; this measures
-// what that costs end-to-end, justifying "record in tests, not in
-// production" guidance in the README.
+// Recorder-overhead ablation: the same workload with recording off and on,
+// for a deferred-update backend (TL2) and a direct-update one (2PL-Undo)
+// from the registry. The recorder claims one seq-cst fetch-add per event;
+// this measures what that costs end-to-end, justifying "record in tests,
+// not in production" guidance in the README.
 #include <benchmark/benchmark.h>
 
 #include "stm/recorder.hpp"
-#include "stm/tl2.hpp"
+#include "stm/registry.hpp"
 #include "stm/workload.hpp"
 
 namespace {
 
 using namespace duo::stm;
 
+constexpr const char* kSubjects[] = {"tl2", "2pl-undo"};
+
 void run_case(benchmark::State& state, bool record) {
   const auto threads = static_cast<std::size_t>(state.range(0));
+  const char* backend = kSubjects[static_cast<std::size_t>(state.range(1))];
   std::uint64_t committed = 0;
   for (auto _ : state) {
     std::unique_ptr<Recorder> rec;
     // Sized to the workload (~9 events per transaction) so the measurement
     // reflects recording cost, not the allocation of an oversized buffer.
     if (record) rec = std::make_unique<Recorder>(1 << 15);
-    Tl2Stm stm(64, rec.get());
+    auto stm = make_stm(backend, 64, rec.get());
     WorkloadOptions opts;
     opts.threads = threads;
     opts.txns_per_thread = 1000 / threads;
     opts.ops_per_txn = 4;
     opts.write_fraction = 0.3;
-    const auto stats = run_random_mix(stm, opts);
+    const auto stats = run_random_mix(*stm, opts);
     committed += stats.committed;
     if (record) benchmark::DoNotOptimize(rec->count());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.SetLabel(backend);
 }
 
-void BM_Tl2NoRecorder(benchmark::State& state) { run_case(state, false); }
-void BM_Tl2WithRecorder(benchmark::State& state) { run_case(state, true); }
+void BM_NoRecorder(benchmark::State& state) { run_case(state, false); }
+void BM_WithRecorder(benchmark::State& state) { run_case(state, true); }
 
-BENCHMARK(BM_Tl2NoRecorder)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
-BENCHMARK(BM_Tl2WithRecorder)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+void recorder_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t backend = 0; backend < 2; ++backend)
+    for (const int threads : {1, 2, 4})
+      b->Args({threads, backend});
+  b->UseRealTime();
+}
+
+BENCHMARK(BM_NoRecorder)->Apply(recorder_args);
+BENCHMARK(BM_WithRecorder)->Apply(recorder_args);
 
 }  // namespace
 

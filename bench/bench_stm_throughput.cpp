@@ -1,48 +1,42 @@
-// E14 — STM substrate throughput: TL2 vs NORec vs TML vs pessimistic across
-// thread counts and contention levels. The *shape* to reproduce from the
-// broader literature the paper builds on: fine-grained TL2 scales on
-// low-contention read-mostly loads; NORec's single lock serializes commits;
-// TML and pessimistic collapse under writer contention; the pessimistic STM
-// never aborts (it pays in blocking instead).
+// E14 — STM substrate throughput across the backend registry (every
+// non-fault-injected backend), thread counts and contention levels. The
+// *shape* to reproduce from the broader literature the paper builds on:
+// fine-grained TL2 scales on low-contention read-mostly loads; NORec's
+// single lock serializes commits; TML collapses under writer contention;
+// encounter-time 2PL-Undo avoids commit-time work but dies on lock
+// conflicts (including read-to-write upgrades); the pessimistic STM never
+// aborts (it pays in blocking instead). A backend added to the registry
+// joins the sweep automatically.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
-#include "stm/norec.hpp"
-#include "stm/pessimistic.hpp"
-#include "stm/tl2.hpp"
-#include "stm/tml.hpp"
+#include "stm/registry.hpp"
 #include "stm/workload.hpp"
 
 namespace {
 
 using namespace duo::stm;
 
-std::unique_ptr<Stm> make_stm(int which, ObjId objects) {
-  switch (which) {
-    case 0: return std::make_unique<Tl2Stm>(objects);
-    case 1: return std::make_unique<NorecStm>(objects);
-    case 2: return std::make_unique<TmlStm>(objects);
-    default: return std::make_unique<PessimisticStm>(objects);
-  }
-}
-
-const char* stm_name(int which) {
-  switch (which) {
-    case 0: return "TL2";
-    case 1: return "NORec";
-    case 2: return "TML";
-    default: return "pessimistic";
-  }
+/// Perf subjects: the registry minus the deliberately broken variants.
+const std::vector<BackendInfo>& subjects() {
+  static const std::vector<BackendInfo> list = [] {
+    std::vector<BackendInfo> out;
+    for (const auto& b : registered_backends())
+      if (!b.fault_injected) out.push_back(b);
+    return out;
+  }();
+  return list;
 }
 
 void run_mix(benchmark::State& state, double write_fraction,
              ObjId objects) {
-  const int which = static_cast<int>(state.range(0));
+  const auto& which = subjects()[static_cast<std::size_t>(state.range(0))];
   const auto threads = static_cast<std::size_t>(state.range(1));
   std::uint64_t committed = 0, aborted = 0;
   for (auto _ : state) {
-    auto stm = make_stm(which, objects);
+    auto stm = make_stm(which.name, objects);
     WorkloadOptions opts;
     opts.threads = threads;
     opts.txns_per_thread = 2000 / threads;
@@ -57,7 +51,7 @@ void run_mix(benchmark::State& state, double write_fraction,
   state.SetItemsProcessed(static_cast<std::int64_t>(committed));
   state.counters["aborts_per_commit"] =
       committed ? static_cast<double>(aborted) / committed : 0.0;
-  state.SetLabel(stm_name(which));
+  state.SetLabel(which.name);
 }
 
 void BM_ReadMostly(benchmark::State& state) {
@@ -68,11 +62,11 @@ void BM_WriteHeavy(benchmark::State& state) {
 }
 
 void BM_Counters(benchmark::State& state) {
-  const int which = static_cast<int>(state.range(0));
+  const auto& which = subjects()[static_cast<std::size_t>(state.range(0))];
   const auto threads = static_cast<std::size_t>(state.range(1));
   std::uint64_t committed = 0;
   for (auto _ : state) {
-    auto stm = make_stm(which, 8);
+    auto stm = make_stm(which.name, 8);
     WorkloadOptions opts;
     opts.threads = threads;
     opts.txns_per_thread = 2000 / threads;
@@ -81,13 +75,13 @@ void BM_Counters(benchmark::State& state) {
     committed += stats.committed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(committed));
-  state.SetLabel(stm_name(which));
+  state.SetLabel(which.name);
 }
 
 void stm_thread_args(benchmark::internal::Benchmark* b) {
-  for (int stm = 0; stm < 4; ++stm)
+  for (std::size_t stm = 0; stm < subjects().size(); ++stm)
     for (const int threads : {1, 2, 4})
-      b->Args({stm, threads});
+      b->Args({static_cast<std::int64_t>(stm), threads});
   // Fixed iteration count keeps the full sweep bounded even on heavily
   // oversubscribed machines (each iteration is a complete workload).
   b->Iterations(3)->UseRealTime();

@@ -1,16 +1,14 @@
-// E11 / E12 / E15 — live STM runs, recorded and judged.
-//
-// For each STM (the three deferred-update implementations, the pessimistic
-// one, and the two fault-injected TL2 variants) this harness records
-// contended runs and reports the fraction judged du-opaque / opaque /
-// strictly serializable. Expected shape (paper §5):
-//   TL2 / NORec / TML     -> 100% du-opaque
-//   pessimistic           -> du violations appear (and often worse)
-//   TL2 faulty variants   -> violations caught by the checkers
+// E11 / E12 / E15 — live STM runs, recorded and judged, over the whole
+// backend registry (deferred and direct update, correct and
+// fault-injected). For each backend this harness records contended runs
+// and reports the fraction judged du-opaque / opaque / strictly
+// serializable. Expected shape (paper §5 + the registry's declared
+// expectations):
+//   TL2 / NORec / TML / 2PL-Undo -> 100% du-opaque
+//   pessimistic                  -> du violations appear (and often worse)
+//   fault-injected variants      -> violations caught by the checkers
 #include <condition_variable>
 #include <cstdio>
-#include <functional>
-#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -18,10 +16,7 @@
 #include "checker/du_opacity.hpp"
 #include "checker/strict_serializability.hpp"
 #include "history/printer.hpp"
-#include "stm/norec.hpp"
-#include "stm/pessimistic.hpp"
-#include "stm/tl2.hpp"
-#include "stm/tml.hpp"
+#include "stm/registry.hpp"
 #include "stm/workload.hpp"
 #include "util/table.hpp"
 
@@ -130,21 +125,16 @@ bool doomed_read_round_du(Stm& stm, Recorder& rec) {
   return duo::checker::check_du_opacity(h, opts).yes();
 }
 
-struct Subject {
-  const char* name;
-  std::function<std::unique_ptr<Stm>(Recorder*)> make;
-};
-
 struct Tally {
   int runs = 0, du_yes = 0, sser_yes = 0, unknown = 0;
   std::uint64_t aborts = 0;
 };
 
-Tally evaluate(const Subject& subject, int runs) {
+Tally evaluate(const BackendInfo& subject, int runs) {
   Tally tally;
   for (int i = 0; i < runs; ++i) {
     Recorder rec(1 << 13);
-    auto stm = subject.make(&rec);
+    auto stm = make_stm(subject.name, 2, &rec);
     WorkloadOptions opts;
     opts.threads = 3;
     opts.txns_per_thread = 4;
@@ -175,26 +165,7 @@ Tally evaluate(const Subject& subject, int runs) {
 }  // namespace
 
 int main() {
-  Tl2Options no_commit_val;
-  no_commit_val.faulty_skip_commit_validation = true;
-  Tl2Options no_read_val;
-  no_read_val.faulty_skip_read_validation = true;
-
-  const Subject subjects[] = {
-      {"TL2", [](Recorder* r) { return std::make_unique<Tl2Stm>(2, r); }},
-      {"NORec", [](Recorder* r) { return std::make_unique<NorecStm>(2, r); }},
-      {"TML", [](Recorder* r) { return std::make_unique<TmlStm>(2, r); }},
-      {"pessimistic",
-       [](Recorder* r) { return std::make_unique<PessimisticStm>(2, r); }},
-      {"TL2-no-commit-val",
-       [=](Recorder* r) {
-         return std::make_unique<Tl2Stm>(2, r, no_commit_val);
-       }},
-      {"TL2-no-read-val",
-       [=](Recorder* r) {
-         return std::make_unique<Tl2Stm>(2, r, no_read_val);
-       }},
-  };
+  const std::vector<BackendInfo>& subjects = registered_backends();
 
   constexpr int kRuns = 20;
   std::printf(
@@ -203,7 +174,7 @@ int main() {
       kRuns);
   duo::util::Table table({"STM", "runs", "du-opaque", "strict-ser",
                           "unknown", "aborts"});
-  for (const Subject& subject : subjects) {
+  for (const BackendInfo& subject : subjects) {
     const Tally t = evaluate(subject, kRuns);
     table.add_row({subject.name, std::to_string(t.runs),
                    std::to_string(t.du_yes), std::to_string(t.sser_yes),
@@ -218,11 +189,11 @@ int main() {
   std::printf("=== Staged reader-meets-writer rounds (deterministic) ===\n\n");
   duo::util::Table staged({"STM", "rounds", "du-opaque rounds"});
   constexpr int kStaged = 10;
-  for (const Subject& subject : subjects) {
+  for (const BackendInfo& subject : subjects) {
     int du_ok = 0;
     for (int i = 0; i < kStaged; ++i) {
       Recorder rec(256);
-      auto stm = subject.make(&rec);
+      auto stm = make_stm(subject.name, 2, &rec);
       du_ok += staged_round_du_opaque(*stm, rec, 100 + i);
     }
     staged.add_row({subject.name, std::to_string(kStaged),
@@ -230,19 +201,21 @@ int main() {
   }
   std::printf("%s\n", staged.render().c_str());
   std::printf(
-      "expected shape (paper §5): TL2/NORec/TML du-opaque in every staged\n"
-      "round; the pessimistic STM fails every round (its reader observes\n"
-      "state of a transaction that has not started committing).\n\n");
+      "expected shape (paper §5): TL2/NORec/TML/2PL-Undo du-opaque in every\n"
+      "staged round (2PL-Undo hides its in-place writes behind held locks);\n"
+      "the pessimistic STM and the early-lock-release 2PL-Undo fail (their\n"
+      "readers observe state of a transaction that has not started\n"
+      "committing).\n\n");
 
   std::printf("=== Injected-fault scenarios (deterministic, E15) ===\n\n");
   duo::util::Table faults(
       {"STM", "lost-update round sser", "doomed-read round du"});
-  for (const Subject& subject : subjects) {
+  for (const BackendInfo& subject : subjects) {
     Recorder rec1(256);
-    auto stm1 = subject.make(&rec1);
+    auto stm1 = make_stm(subject.name, 2, &rec1);
     const bool sser = lost_update_round_sser(*stm1, rec1);
     Recorder rec2(256);
-    auto stm2 = subject.make(&rec2);
+    auto stm2 = make_stm(subject.name, 2, &rec2);
     const bool du = doomed_read_round_du(*stm2, rec2);
     faults.add_row({subject.name, sser ? "pass" : "VIOLATED",
                     du ? "pass" : "VIOLATED"});

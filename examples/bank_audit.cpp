@@ -1,8 +1,9 @@
 // Bank audit: the motivation story from the paper's introduction, staged on
-// two STMs. Auditors sum all accounts while transfers run. With TL2 (a
-// du-opaque STM) no auditor ever observes a broken total; with the
-// pessimistic, in-place STM the invariant shatters — and the recorder plus
-// checkers pin the blame on deferred-update violations.
+// three registry backends. Auditors sum all accounts while transfers run.
+// With TL2 (deferred update) and 2PL-Undo (direct update behind held
+// locks) no auditor ever observes a broken total; with the pessimistic,
+// in-place STM the invariant shatters — and the recorder plus checkers pin
+// the blame on deferred-update violations.
 //
 // Usage: bank_audit [accounts] [threads]
 #include <cstdio>
@@ -11,18 +12,22 @@
 #include "checker/du_opacity.hpp"
 #include "checker/strict_serializability.hpp"
 #include "history/printer.hpp"
-#include "stm/pessimistic.hpp"
-#include "stm/tl2.hpp"
+#include "stm/registry.hpp"
 #include "stm/workload.hpp"
 
 namespace {
 
-template <typename StmT>
-void run_case(const char* label, duo::history::ObjId accounts,
+void run_case(const char* backend, duo::history::ObjId accounts,
               std::size_t threads) {
   using namespace duo;
   stm::Recorder recorder(1 << 16);
-  StmT stm(accounts, &recorder);
+  auto stm_ptr = stm::make_stm(backend, accounts, &recorder);
+  if (stm_ptr == nullptr) {
+    std::printf("unknown backend %s\n", backend);
+    return;
+  }
+  stm::Stm& stm = *stm_ptr;
+  const char* label = backend;
 
   stm::WorkloadOptions opts;
   opts.threads = threads;
@@ -63,12 +68,14 @@ int main(int argc, char** argv) {
               static_cast<int>(accounts), threads);
   std::printf("invariant: every audit must see total == 1000 * accounts\n\n");
 
-  run_case<duo::stm::Tl2Stm>("TL2", accounts, threads);
-  run_case<duo::stm::PessimisticStm>("pessimistic", accounts, threads);
+  run_case("tl2", accounts, threads);
+  run_case("2pl-undo", accounts, threads);
+  run_case("pessimistic", accounts, threads);
 
   std::printf(
-      "shape: TL2 reports zero broken audits and du-opaque recordings;\n"
-      "the pessimistic STM commits everything but lets auditors observe\n"
-      "uncommitted state -- the failure mode du-opacity formalizes.\n");
+      "shape: TL2 (deferred) and 2PL-Undo (direct, locks held to the end)\n"
+      "report zero broken audits and du-opaque recordings; the pessimistic\n"
+      "STM commits everything but lets auditors observe uncommitted state\n"
+      "-- the failure mode du-opacity formalizes.\n");
   return 0;
 }

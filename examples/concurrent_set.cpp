@@ -3,13 +3,15 @@
 // transactions ("move element from set to queue atomically") — and the
 // recorded execution judged du-opaque afterwards.
 //
-// Usage: concurrent_set [threads] [items-per-thread]
+// Usage: concurrent_set [threads] [items-per-thread] [backend]
+// (backend is any registry name — the data structures are generic over the
+// STM API, so they run unchanged on deferred- and direct-update designs.)
 #include <cstdio>
 #include <cstdlib>
 
 #include "checker/du_opacity.hpp"
 #include "history/printer.hpp"
-#include "stm/tl2.hpp"
+#include "stm/registry.hpp"
 #include "txdata/txqueue.hpp"
 #include "txdata/txset.hpp"
 #include "util/threading.hpp"
@@ -19,14 +21,22 @@ int main(int argc, char** argv) {
   const auto threads =
       static_cast<std::size_t>(argc > 1 ? std::atoi(argv[1]) : 4);
   const int per_thread = argc > 2 ? std::atoi(argv[2]) : 25;
+  const char* backend = argc > 3 ? argv[3] : "tl2";
 
   // Layout: set over objects [0, 128), queue over [128, 128+66).
   constexpr stm::ObjId kSetBase = 0, kSetCap = 128;
   const stm::ObjId kQueueBase = kSetBase + kSetCap;
   constexpr stm::ObjId kQueueCap = 64;
   stm::Recorder recorder(1 << 18);
-  stm::Tl2Stm stm(kQueueBase + txdata::TxQueue::footprint(kQueueCap),
-                  &recorder);
+  auto stm_ptr = stm::make_stm(
+      backend, kQueueBase + txdata::TxQueue::footprint(kQueueCap),
+      &recorder);
+  if (stm_ptr == nullptr) {
+    std::printf("unknown backend: %s\nregistered: %s\n", backend,
+                stm::registered_names().c_str());
+    return 1;
+  }
+  stm::Stm& stm = *stm_ptr;
   const txdata::TxHashSet set(kSetBase, kSetCap);
   const txdata::TxQueue queue(kQueueBase, kQueueCap);
 

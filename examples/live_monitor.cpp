@@ -8,48 +8,30 @@
 // passes, limit-closure (Theorem 5) extends the guarantee to the whole
 // execution.
 //
-// Usage: live_monitor [tl2|norec|tml|pessimistic|tl2-faulty]
+// Usage: live_monitor [backend]   (any registry name; see --list below or
+//                                  `duo_check --list-stms`)
 #include <atomic>
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <thread>
 
 #include "history/printer.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/tap.hpp"
-#include "stm/norec.hpp"
-#include "stm/pessimistic.hpp"
-#include "stm/tl2.hpp"
-#include "stm/tml.hpp"
+#include "stm/registry.hpp"
 #include "stm/workload.hpp"
-
-namespace {
-
-std::unique_ptr<duo::stm::Stm> make_stm(const char* name,
-                                        duo::stm::Recorder* rec) {
-  using namespace duo::stm;
-  if (std::strcmp(name, "norec") == 0)
-    return std::make_unique<NorecStm>(2, rec);
-  if (std::strcmp(name, "tml") == 0) return std::make_unique<TmlStm>(2, rec);
-  if (std::strcmp(name, "pessimistic") == 0)
-    return std::make_unique<PessimisticStm>(2, rec);
-  if (std::strcmp(name, "tl2-faulty") == 0) {
-    Tl2Options opts;
-    opts.faulty_skip_read_validation = true;
-    return std::make_unique<Tl2Stm>(2, rec, opts);
-  }
-  return std::make_unique<Tl2Stm>(2, rec);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace duo;
   const char* which = argc > 1 ? argv[1] : "tl2";
 
   stm::Recorder recorder(1 << 14);
-  auto stm = make_stm(which, &recorder);
+  auto stm = stm::make_stm(which, 2, &recorder);
+  if (stm == nullptr) {
+    std::printf("unknown backend: %s\nregistered: %s\n", which,
+                stm::registered_names().c_str());
+    return 1;
+  }
   std::printf("monitoring %s under a contended 3-thread workload "
               "(checking overlaps execution)...\n\n",
               stm->name().c_str());

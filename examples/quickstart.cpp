@@ -11,15 +11,18 @@
 
 #include "checker/du_opacity.hpp"
 #include "history/printer.hpp"
-#include "stm/tl2.hpp"
+#include "stm/registry.hpp"
 #include "util/threading.hpp"
 
 int main() {
   using namespace duo;
 
   // An STM over two t-objects (account A = X0, account B = X1), recorded.
+  // Backends are created by registry name — swap "tl2" for any name from
+  // `duo_check --list-stms` (e.g. "2pl-undo") and the rest is unchanged.
   stm::Recorder recorder(4096);
-  stm::Tl2Stm stm(2, &recorder);
+  auto stm_ptr = stm::make_stm("tl2", 2, &recorder);
+  stm::Stm& stm = *stm_ptr;
 
   // Seed both accounts with 100.
   stm::atomically(stm, [](stm::Transaction& tx) {

@@ -1,0 +1,162 @@
+#include "stm/registry.hpp"
+
+#include <functional>
+
+#include "stm/norec.hpp"
+#include "stm/pessimistic.hpp"
+#include "stm/tl2.hpp"
+#include "stm/tml.hpp"
+#include "stm/twopl_undo.hpp"
+
+namespace duo::stm {
+
+namespace {
+
+struct Entry {
+  BackendInfo info;
+  std::function<std::unique_ptr<Stm>(ObjId, Recorder*)> make;
+};
+
+const std::vector<Entry>& table() {
+  static const std::vector<Entry> entries = [] {
+    std::vector<Entry> t;
+    t.push_back({{"tl2",
+                  "TL2: global version clock, per-object versioned "
+                  "write-locks, commit-time write-back",
+                  UpdatePolicy::kDeferred, true, DuExpectation::kDuOpaque,
+                  false,
+                  {}},
+                 [](ObjId n, Recorder* r) {
+                   return std::make_unique<Tl2Stm>(n, r);
+                 }});
+    t.push_back({{"norec",
+                  "NORec: single global seqlock, value-based validation, "
+                  "no ownership records",
+                  UpdatePolicy::kDeferred, true, DuExpectation::kDuOpaque,
+                  false,
+                  {}},
+                 [](ObjId n, Recorder* r) {
+                   return std::make_unique<NorecStm>(n, r);
+                 }});
+    t.push_back({{"tml",
+                  "TML: single global versioned lock, in-place writes "
+                  "rolled back from an undo log",
+                  UpdatePolicy::kDirect, true, DuExpectation::kDuOpaque,
+                  false,
+                  {}},
+                 [](ObjId n, Recorder* r) {
+                   return std::make_unique<TmlStm>(n, r);
+                 }});
+    t.push_back({{"2pl-undo",
+                  "encounter-time 2PL: per-object rw-locks held to the "
+                  "end, in-place writes, undo-log rollback",
+                  UpdatePolicy::kDirect, true, DuExpectation::kDuOpaque,
+                  false,
+                  {"twopl-undo"}},
+                 [](ObjId n, Recorder* r) {
+                   return std::make_unique<TwoPlUndoStm>(n, r);
+                 }});
+    t.push_back({{"pessimistic",
+                  "pessimistic no-abort STM (paper s5): unvalidated reads, "
+                  "in-place writes, no undo",
+                  UpdatePolicy::kDirect, false, DuExpectation::kNotDuOpaque,
+                  false,
+                  {}},
+                 [](ObjId n, Recorder* r) {
+                   return std::make_unique<PessimisticStm>(n, r);
+                 }});
+    t.push_back({{"2pl-undo-faulty",
+                  "2PL-Undo releasing write locks before rollback "
+                  "completes: uncommitted reads + racy undo publication",
+                  UpdatePolicy::kDirect, true, DuExpectation::kNotDuOpaque,
+                  true,
+                  {"twopl-undo-faulty"}},
+                 [](ObjId n, Recorder* r) {
+                   TwoPlUndoOptions o;
+                   o.faulty_early_lock_release = true;
+                   return std::make_unique<TwoPlUndoStm>(n, r, o);
+                 }});
+    t.push_back({{"tl2-no-read-validation",
+                  "TL2 with per-read version validation disabled "
+                  "(doomed reads)",
+                  UpdatePolicy::kDeferred, true, DuExpectation::kNotDuOpaque,
+                  true,
+                  {"tl2-faulty"}},
+                 [](ObjId n, Recorder* r) {
+                   Tl2Options o;
+                   o.faulty_skip_read_validation = true;
+                   return std::make_unique<Tl2Stm>(n, r, o);
+                 }});
+    t.push_back({{"tl2-no-commit-validation",
+                  "TL2 with commit-time read-set validation disabled "
+                  "(lost updates)",
+                  UpdatePolicy::kDeferred, true, DuExpectation::kNotDuOpaque,
+                  true,
+                  {}},
+                 [](ObjId n, Recorder* r) {
+                   Tl2Options o;
+                   o.faulty_skip_commit_validation = true;
+                   return std::make_unique<Tl2Stm>(n, r, o);
+                 }});
+    return t;
+  }();
+  return entries;
+}
+
+const Entry* find_entry(std::string_view name) {
+  for (const Entry& e : table()) {
+    if (e.info.name == name) return &e;
+    for (const std::string& alias : e.info.aliases)
+      if (alias == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string to_string(UpdatePolicy p) {
+  return p == UpdatePolicy::kDeferred ? "deferred" : "direct";
+}
+
+std::string to_string(DuExpectation e) {
+  return e == DuExpectation::kDuOpaque ? "du-opaque" : "not du-opaque";
+}
+
+const std::vector<BackendInfo>& registered_backends() {
+  static const std::vector<BackendInfo> infos = [] {
+    std::vector<BackendInfo> out;
+    for (const Entry& e : table()) out.push_back(e.info);
+    return out;
+  }();
+  return infos;
+}
+
+const BackendInfo* find_backend(std::string_view name) {
+  const Entry* e = find_entry(name);
+  return e != nullptr ? &e->info : nullptr;
+}
+
+std::unique_ptr<Stm> make_stm(std::string_view name, ObjId num_objects,
+                              Recorder* recorder) {
+  const Entry* e = find_entry(name);
+  if (e == nullptr) return nullptr;
+  return e->make(num_objects, recorder);
+}
+
+std::string registered_names() {
+  std::string out;
+  for (const BackendInfo& b : registered_backends()) {
+    if (!out.empty()) out += ", ";
+    out += b.name;
+  }
+  return out;
+}
+
+std::string test_identifier(const BackendInfo& info) {
+  std::string out = info.name;
+  for (char& c : out)
+    if (c == '-') c = '_';
+  return out;
+}
+
+}  // namespace duo::stm

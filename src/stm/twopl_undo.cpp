@@ -1,0 +1,212 @@
+#include "stm/twopl_undo.hpp"
+
+#include <algorithm>
+
+namespace duo::stm {
+
+class TwoPlUndoTransaction final : public Transaction {
+ public:
+  TwoPlUndoTransaction(TwoPlUndoStm& stm, TxnId id) : stm_(stm), id_(id) {}
+
+  ~TwoPlUndoTransaction() override {
+    // A dropped live transaction must not leave objects locked or dirty;
+    // roll back and release without recording events (the history then
+    // shows a transaction that simply never completed).
+    if (!finished_) {
+      rollback();
+      release_all_locks();
+    }
+  }
+
+  std::optional<Value> read(ObjId obj) override {
+    DUO_EXPECTS(!finished_);
+    const bool record_event = !read_recorded(obj);
+    if (holds_read_lock(obj) || holds_write_lock(obj)) {
+      // Lock held: the slot cannot change under us (and a write-locked slot
+      // holds our own in-place value), so repeat reads are consistent by
+      // construction. Record the first read of the object only (read-once
+      // event model, like the other backends).
+      const Value v = slot(obj).value.load(std::memory_order_acquire);
+      if (record_event) {
+        OpScope scope(stm_.recorder_, Event::inv_read(id_, obj));
+        scope.respond(Event::resp_read(id_, obj, v));
+        recorded_reads_.push_back(obj);
+      }
+      return v;
+    }
+
+    OpScope scope(record_event ? stm_.recorder_ : nullptr,
+                  Event::inv_read(id_, obj));
+    if (record_event) recorded_reads_.push_back(obj);
+    const std::uint64_t prev = slot(obj).lock.fetch_add(
+        TwoPlUndoStm::kReaderUnit, std::memory_order_acq_rel);
+    if (prev & TwoPlUndoStm::kWriterBit) {
+      // A writer holds the object: back out and die (immediate-abort 2PL
+      // keeps the design deadlock-free).
+      slot(obj).lock.fetch_sub(TwoPlUndoStm::kReaderUnit,
+                               std::memory_order_acq_rel);
+      abort_internal();
+      scope.respond(Event::resp_abort(id_, history::OpKind::kRead, obj));
+      return std::nullopt;
+    }
+    read_locks_.push_back(obj);
+    const Value v = slot(obj).value.load(std::memory_order_acquire);
+    scope.respond(Event::resp_read(id_, obj, v));
+    return v;
+  }
+
+  bool write(ObjId obj, Value v) override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_write(id_, obj, v));
+    if (!holds_write_lock(obj) && !acquire_write_lock(obj)) {
+      abort_internal();
+      scope.respond(Event::resp_abort(id_, history::OpKind::kWrite, obj));
+      return false;
+    }
+    undo_.emplace_back(obj,
+                       slot(obj).value.load(std::memory_order_relaxed));
+    slot(obj).value.store(v, std::memory_order_release);
+    if (stm_.options_.faulty_early_lock_release) release_write_lock(obj);
+    scope.respond(Event::resp_write_ok(id_, obj));
+    return true;
+  }
+
+  bool commit() override {
+    DUO_EXPECTS(!finished_);
+    // Strict 2PL: conflicts were resolved at encounter time, so tryC never
+    // aborts. The locks are released only after inv_tryc is recorded
+    // (OpScope records it on construction); any read of our values
+    // therefore responds after our tryC invocation — the deferred-update
+    // condition, met by a direct-update STM.
+    OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
+    finished_ = true;
+    release_all_locks();
+    scope.respond(Event::resp_commit(id_));
+    return true;
+  }
+
+  void abort() override {
+    DUO_EXPECTS(!finished_);
+    OpScope scope(stm_.recorder_, Event::inv_trya(id_));
+    finished_ = true;
+    if (stm_.options_.faulty_early_lock_release) {
+      // Faulty order: locks go first (the write locks are mostly gone
+      // already), then the undo log is published into unlocked objects —
+      // concurrent readers can observe both the uncommitted values and the
+      // rollback happening.
+      release_all_locks();
+      rollback();
+    } else {
+      rollback();
+      release_all_locks();
+    }
+    scope.respond(Event::resp_abort(id_, history::OpKind::kTryAbort));
+  }
+
+  bool finished() const override { return finished_; }
+
+ private:
+  TwoPlUndoStm::Slot& slot(ObjId obj) const {
+    return stm_.slots_[static_cast<std::size_t>(obj)];
+  }
+  bool holds_read_lock(ObjId obj) const {
+    return std::find(read_locks_.begin(), read_locks_.end(), obj) !=
+           read_locks_.end();
+  }
+  bool holds_write_lock(ObjId obj) const {
+    return std::find(write_locks_.begin(), write_locks_.end(), obj) !=
+           write_locks_.end();
+  }
+  bool read_recorded(ObjId obj) const {
+    return std::find(recorded_reads_.begin(), recorded_reads_.end(), obj) !=
+           recorded_reads_.end();
+  }
+
+  /// CAS the writer bit in, tolerating only this transaction's own reader
+  /// contribution (read-to-write upgrade). Any other reader or writer on
+  /// the object fails the acquisition.
+  bool acquire_write_lock(ObjId obj) {
+    const std::uint64_t own_readers =
+        holds_read_lock(obj) ? TwoPlUndoStm::kReaderUnit : 0;
+    std::uint64_t expected = own_readers;
+    if (!slot(obj).lock.compare_exchange_strong(
+            expected, own_readers | TwoPlUndoStm::kWriterBit,
+            std::memory_order_acq_rel, std::memory_order_acquire))
+      return false;
+    write_locks_.push_back(obj);
+    return true;
+  }
+
+  void release_write_lock(ObjId obj) {
+    slot(obj).lock.fetch_sub(TwoPlUndoStm::kWriterBit,
+                             std::memory_order_acq_rel);
+    write_locks_.erase(
+        std::find(write_locks_.begin(), write_locks_.end(), obj));
+  }
+
+  void release_all_locks() {
+    for (const ObjId obj : read_locks_)
+      slot(obj).lock.fetch_sub(TwoPlUndoStm::kReaderUnit,
+                               std::memory_order_acq_rel);
+    for (const ObjId obj : write_locks_)
+      slot(obj).lock.fetch_sub(TwoPlUndoStm::kWriterBit,
+                               std::memory_order_acq_rel);
+    read_locks_.clear();
+    write_locks_.clear();
+  }
+
+  void rollback() {
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+      slot(it->first).value.store(it->second, std::memory_order_release);
+    undo_.clear();
+  }
+
+  /// Abort due to a failed lock acquisition: the transaction dies with the
+  /// A_k response to the pending operation, undoing its in-place writes
+  /// first (while their write locks are still held, in the correct mode).
+  void abort_internal() {
+    finished_ = true;
+    if (stm_.options_.faulty_early_lock_release) {
+      release_all_locks();
+      rollback();
+    } else {
+      rollback();
+      release_all_locks();
+    }
+  }
+
+  TwoPlUndoStm& stm_;
+  const TxnId id_;
+  std::vector<ObjId> read_locks_;
+  std::vector<ObjId> write_locks_;
+  std::vector<ObjId> recorded_reads_;
+  std::vector<std::pair<ObjId, Value>> undo_;
+  bool finished_ = false;
+};
+
+TwoPlUndoStm::TwoPlUndoStm(ObjId num_objects, Recorder* recorder,
+                           TwoPlUndoOptions options)
+    : num_objects_(num_objects),
+      recorder_(recorder),
+      options_(options),
+      slots_(static_cast<std::size_t>(num_objects)) {
+  DUO_EXPECTS(num_objects >= 1);
+}
+
+std::unique_ptr<Transaction> TwoPlUndoStm::begin() {
+  return std::make_unique<TwoPlUndoTransaction>(
+      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Value TwoPlUndoStm::sample_committed(ObjId obj) const {
+  DUO_EXPECTS(obj >= 0 && obj < num_objects_);
+  return slots_[static_cast<std::size_t>(obj)].value.load(
+      std::memory_order_acquire);
+}
+
+std::string TwoPlUndoStm::name() const {
+  return options_.faulty_early_lock_release ? "2PL-Undo[early-lock-release]"
+                                            : "2PL-Undo";
+}
+
+}  // namespace duo::stm

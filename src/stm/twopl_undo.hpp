@@ -1,0 +1,76 @@
+// 2PL-Undo — encounter-time two-phase locking with per-object
+// reader-writer locks and an undo log (cf. Correia/Ramalhete/Felber's
+// 2PLSF companion "2PL-Undo"): the canonical *direct-update* STM design.
+//
+// Writes lock the object at encounter time and update memory in place,
+// logging the previous value; commit merely releases the locks (strict 2PL
+// needs no validation); abort rolls the undo log back in reverse order
+// while the write locks are still held, so no other transaction ever
+// observes an uncommitted or rolled-back value. Conflicting lock
+// acquisitions abort immediately (no blocking), which makes the design
+// deadlock-free at the price of aborts under contention.
+//
+// The paper's point, exercised from the other side: deferred update is not
+// the only road to du-opacity — strict 2PL *hides* in-place writes behind
+// the write lock until tryC is invoked, so recorded histories stay
+// du-opaque. The faulty variant below removes exactly that shield.
+//
+// Fault injection (TwoPlUndoOptions::faulty_early_lock_release): release
+// each write lock as soon as the in-place store lands instead of holding it
+// to commit/abort. Uncommitted values become visible to concurrent readers
+// and abort's undo writes are published racily into unlocked objects — the
+// dangerous direct-update behavior Machens' sandboxing work and the
+// last-use-opacity line of work study. Recorded histories of the faulty
+// variant violate du-opacity, and the checkers/monitor must catch them the
+// way the fault-injected TL2 variants are caught.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace duo::stm {
+
+struct TwoPlUndoOptions {
+  /// Release each write lock immediately after its in-place store instead
+  /// of at commit/abort (breaks the "hold to the end" half of 2PL; the
+  /// undo rollback then publishes into unlocked objects).
+  bool faulty_early_lock_release = false;
+};
+
+class TwoPlUndoStm final : public Stm {
+ public:
+  TwoPlUndoStm(ObjId num_objects, Recorder* recorder = nullptr,
+               TwoPlUndoOptions options = {});
+
+  std::unique_ptr<Transaction> begin() override;
+  Value sample_committed(ObjId obj) const override;
+  ObjId num_objects() const override { return num_objects_; }
+  std::string name() const override;
+  /// Both variants roll back (the faulty one racily, which is the bug).
+  bool rolls_back_aborted_writes() const override { return true; }
+
+ private:
+  friend class TwoPlUndoTransaction;
+
+  /// Per-object lock word: bit 0 = write-locked, bits 1.. = reader count.
+  /// Writers acquire with a CAS that tolerates only their own read-lock
+  /// contribution (upgrade); readers acquire with fetch_add and back off if
+  /// the prior value carried the write bit.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> lock{0};
+    std::atomic<Value> value{0};
+  };
+  static constexpr std::uint64_t kWriterBit = 1;
+  static constexpr std::uint64_t kReaderUnit = 2;
+
+  const ObjId num_objects_;
+  Recorder* const recorder_;
+  const TwoPlUndoOptions options_;
+  std::atomic<TxnId> next_txn_id_{1};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace duo::stm

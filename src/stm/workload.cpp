@@ -16,6 +16,41 @@ double elapsed_seconds(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Decorrelated per-thread generator. The user seed and the thread id are
+/// pushed through SplitMix64 (one whitening round for the seed, one mixing
+/// round folding in a per-workload stream tag and the tid) before seeding
+/// Xoshiro256. Seeding xoshiro directly with `seed * K + tid` hands it
+/// nearly identical state words for nearby seeds and tids, which yields
+/// visibly correlated object-pick sequences across threads.
+util::Xoshiro256 thread_rng(std::uint64_t seed, std::uint64_t stream,
+                            std::size_t tid) {
+  util::SplitMix64 whiten(seed);
+  util::SplitMix64 mix(whiten.next() ^ (stream << 56) ^
+                       static_cast<std::uint64_t>(tid));
+  return util::Xoshiro256(mix.next());
+}
+
+/// Unique-write value encoding for run_random_mix: disjoint bit fields
+///   bits 48..62: thread (tid + 1)     bits 24..47: txn (i + 1)
+///   bits  8..23: attempt              bits  0..7 : op index
+/// so no combination of thread/txn/attempt/op can alias another. (The old
+/// additive packing (tid+1)*1e9 + (i+1)*1e5 + attempt*100 + op collided:
+/// txn 10'000 of thread t produced thread t+1's base value, and attempt
+/// 1'000 carried into the txn slot.) Each field is range-guarded.
+constexpr int kOpBits = 8;
+constexpr int kAttemptBits = 16;
+constexpr int kTxnBits = 24;
+
+Value unique_write_base(std::size_t tid, std::size_t txn) {
+  const std::uint64_t thread_field = tid + 1;
+  const std::uint64_t txn_field = txn + 1;
+  DUO_EXPECTS(thread_field < (1u << 15));  // keep the sign bit clear
+  DUO_EXPECTS(txn_field < (1u << kTxnBits));
+  return static_cast<Value>(
+      (thread_field << (kTxnBits + kAttemptBits + kOpBits)) |
+      (txn_field << (kAttemptBits + kOpBits)));
+}
+
 /// Picks `k` distinct objects using the zipf sampler.
 std::vector<ObjId> pick_objects(util::Zipf& zipf, util::Xoshiro256& rng,
                                 int k, ObjId num_objects) {
@@ -36,27 +71,34 @@ WorkloadStats run_random_mix(Stm& stm, const WorkloadOptions& opts) {
   std::atomic<std::uint64_t> committed{0}, aborted{0}, abandoned{0};
   const auto start = Clock::now();
 
+  DUO_EXPECTS(opts.ops_per_txn <= (1 << kOpBits));
+  // Checked up front so an out-of-range configuration fails deterministically
+  // at entry, not mid-run on whichever transaction reaches the limit first.
+  DUO_EXPECTS(opts.max_attempts <= (1 << kAttemptBits));
   util::run_threads(opts.threads, [&](std::size_t tid) {
-    util::Xoshiro256 rng(opts.seed * 0x9e37u + tid);
+    util::Xoshiro256 rng = thread_rng(opts.seed, /*stream=*/1, tid);
     util::Zipf zipf(static_cast<std::size_t>(stm.num_objects()),
                     opts.zipf_theta);
     for (std::size_t i = 0; i < opts.txns_per_thread; ++i) {
       const auto objects =
           pick_objects(zipf, rng, opts.ops_per_txn, stm.num_objects());
       // Globally unique write value: thread, txn, attempt and op index
-      // encoded (a retry is a fresh transaction, so it must write fresh
-      // values for the history to stay unique-write).
-      const Value base = static_cast<Value>((tid + 1) * 1'000'000'000ULL +
-                                            (i + 1) * 100'000ULL);
+      // encoded as disjoint bit fields (a retry is a fresh transaction, so
+      // it must write fresh values for the history to stay unique-write).
+      const Value base = unique_write_base(tid, i);
       std::uint64_t attempt_aborts = 0;
-      Value attempt = 0;
+      std::uint64_t attempt = 0;
       const bool ok = atomically(
           stm,
           [&](Transaction& tx) {
-            Value op_seq = (attempt++) * 100;
+            const std::uint64_t a = attempt++;  // < max_attempts, checked above
+            std::uint64_t op = 0;
             for (const ObjId obj : objects) {
               if (rng.chance(opts.write_fraction)) {
-                if (!tx.write(obj, base + op_seq++)) {
+                const Value v =
+                    base | static_cast<Value>(a << kOpBits) |
+                    static_cast<Value>(op++);
+                if (!tx.write(obj, v)) {
                   ++attempt_aborts;
                   return Step::kRetry;
                 }
@@ -88,7 +130,7 @@ WorkloadStats run_counters(Stm& stm, const WorkloadOptions& opts) {
   const auto start = Clock::now();
 
   util::run_threads(opts.threads, [&](std::size_t tid) {
-    util::Xoshiro256 rng(opts.seed * 0x51edu + tid);
+    util::Xoshiro256 rng = thread_rng(opts.seed, /*stream=*/2, tid);
     util::Zipf zipf(static_cast<std::size_t>(stm.num_objects()),
                     opts.zipf_theta);
     for (std::size_t i = 0; i < opts.txns_per_thread; ++i) {
@@ -144,7 +186,7 @@ BankStats run_bank(Stm& stm, const WorkloadOptions& opts,
   const auto start = Clock::now();
 
   util::run_threads(opts.threads, [&](std::size_t tid) {
-    util::Xoshiro256 rng(opts.seed * 0xbaULL + tid);
+    util::Xoshiro256 rng = thread_rng(opts.seed, /*stream=*/3, tid);
     for (std::size_t i = 0; i < opts.txns_per_thread; ++i) {
       std::uint64_t attempt_aborts = 0;
       const bool audit = rng.chance(0.2);

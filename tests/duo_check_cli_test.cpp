@@ -13,6 +13,7 @@
 
 #include "gen/generator.hpp"
 #include "history/printer.hpp"
+#include "stm/registry.hpp"
 
 namespace {
 
@@ -280,6 +281,45 @@ TEST_F(DuoCheckCli, FollowRequiresStreamAndAFile) {
   const auto trace = write_trace("ok.txt", kOpaque);
   EXPECT_EQ(run("--follow " + trace), 1);
   EXPECT_EQ(run("--stream --follow - < " + trace), 1);
+}
+
+TEST_F(DuoCheckCli, ListStmsPrintsTheBackendRegistry) {
+  EXPECT_EQ(run("--list-stms"), 0) << stdout_;
+  // Every registered backend must appear, with its metadata columns.
+  for (const auto& b : duo::stm::registered_backends())
+    EXPECT_NE(stdout_.find(b.name), std::string::npos) << b.name;
+  EXPECT_NE(stdout_.find("deferred"), std::string::npos) << stdout_;
+  EXPECT_NE(stdout_.find("direct"), std::string::npos) << stdout_;
+  EXPECT_NE(stdout_.find("not du-opaque"), std::string::npos) << stdout_;
+}
+
+TEST_F(DuoCheckCli, StreamFlagsARecordedTwoPlUndoFaultyRun) {
+  // End-to-end over a *real* recording: the faulty 2PL-Undo leaks T1's
+  // in-place write the moment its lock is (wrongly) released, T2 reads and
+  // commits it before T1 invokes tryC, and the streamed trace must latch at
+  // exactly that read response.
+  duo::stm::Recorder rec(64);
+  auto stm = duo::stm::make_stm("2pl-undo-faulty", 2, &rec);
+  ASSERT_NE(stm, nullptr);
+  auto t1 = stm->begin();
+  ASSERT_TRUE(t1->write(0, 7));
+  auto t2 = stm->begin();
+  const auto leaked = t2->read(0);
+  ASSERT_TRUE(leaked.has_value());
+  ASSERT_TRUE(t2->commit());
+  ASSERT_TRUE(t1->write(1, 8));
+  ASSERT_TRUE(t1->commit());
+  const auto h = rec.finish(stm->num_objects());
+
+  const auto trace =
+      write_trace("faulty_2pl.txt", duo::history::compact(h) + "\n");
+  EXPECT_EQ(run("--stream " + trace), 2) << stdout_;
+  EXPECT_NE(stdout_.find("VIOLATION at event 4"), std::string::npos)
+      << stdout_;
+  // Batch mode and the full report flag the same recording.
+  EXPECT_EQ(run(trace), 2);
+  EXPECT_NE(stdout_.find("du-opacity violated"), std::string::npos)
+      << stdout_;
 }
 
 TEST_F(DuoCheckCli, JobsCountsAreVerdictInvariant) {

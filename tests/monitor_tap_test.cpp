@@ -13,6 +13,7 @@
 #include "monitor/monitor.hpp"
 #include "monitor/tap.hpp"
 #include "stm/norec.hpp"
+#include "stm/registry.hpp"
 #include "stm/tl2.hpp"
 #include "stm/workload.hpp"
 
@@ -43,44 +44,43 @@ TapRun run_with_tap(stm::Stm& s, stm::Recorder& rec,
                 mon.stats()};
 }
 
-TEST(RecorderTap, ChecksLiveTl2RunAndAgreesWithOffline) {
-  stm::Recorder rec(1 << 14);
-  stm::Tl2Stm s(4, &rec);
-  stm::WorkloadOptions wopts;
-  wopts.threads = 3;
-  wopts.txns_per_thread = 20;
-  wopts.ops_per_txn = 3;
-  wopts.objects = 4;
-  wopts.seed = 2026;
-  const auto run = run_with_tap(s, rec, wopts);
-  EXPECT_EQ(run.fed, run.recording.size());
-  EXPECT_EQ(run.fed, rec.count());
-  // TL2 is du-opaque by construction; the tap must agree with the offline
-  // verdict on the full recording either way.
-  const auto offline = checker::check_du_opacity(run.recording);
-  EXPECT_EQ(run.verdict, offline.verdict);
-  EXPECT_EQ(run.verdict, Verdict::kYes);
-}
+/// The registry-parameterized live matrix: every backend — deferred,
+/// direct, and fault-injected — is run under the tap, and the concurrent
+/// verdict must match the offline checker on the finished recording. Safe
+/// (kDuOpaque) backends must additionally never be flagged.
+class TapOverRegistry : public ::testing::TestWithParam<stm::BackendInfo> {};
 
-TEST(RecorderTap, FaultyTl2RunAgreesWithOffline) {
-  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+TEST_P(TapOverRegistry, LiveVerdictAgreesWithOffline) {
+  for (const std::uint64_t seed : {1ull, 2026ull}) {
     stm::Recorder rec(1 << 14);
-    stm::Tl2Options o;
-    o.faulty_skip_read_validation = true;
-    stm::Tl2Stm s(2, &rec, o);
+    auto s = stm::make_stm(GetParam().name, 3, &rec);
+    ASSERT_NE(s, nullptr);
     stm::WorkloadOptions wopts;
     wopts.threads = 3;
     wopts.txns_per_thread = 10;
     wopts.ops_per_txn = 2;
-    wopts.objects = 2;
-    wopts.write_fraction = 0.7;
+    wopts.objects = 3;
+    wopts.write_fraction = 0.6;
     wopts.seed = seed;
-    const auto run = run_with_tap(s, rec, wopts);
+    const auto run = run_with_tap(*s, rec, wopts);
     EXPECT_EQ(run.fed, run.recording.size());
+    EXPECT_EQ(run.fed, rec.count());
     const auto offline = checker::check_du_opacity(run.recording);
-    EXPECT_EQ(run.verdict, offline.verdict) << "seed " << seed;
+    EXPECT_EQ(run.verdict, offline.verdict)
+        << GetParam().name << " seed " << seed;
+    if (GetParam().expected == stm::DuExpectation::kDuOpaque) {
+      EXPECT_NE(run.verdict, Verdict::kNo)
+          << GetParam().name << " seed " << seed;
+    }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, TapOverRegistry,
+    ::testing::ValuesIn(stm::registered_backends()),
+    [](const ::testing::TestParamInfo<stm::BackendInfo>& info) {
+      return stm::test_identifier(info.param);
+    });
 
 TEST(RecorderTap, ConcurrentNorecRunStaysOnFastPathMostly) {
   stm::Recorder rec(1 << 14);

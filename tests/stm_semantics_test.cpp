@@ -1,31 +1,34 @@
 // Single-threaded semantic tests shared by all STM implementations:
 // read-own-write, isolation of aborted transactions, commit visibility,
-// repeat reads, and the atomically() retry helper.
+// repeat reads, and the atomically() retry helper. Parameterized over the
+// backend registry, so every backend — including the fault-injected
+// variants, whose bugs only manifest under concurrency — must satisfy the
+// sequential STM contract.
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 
 #include "stm/api.hpp"
 #include "stm/norec.hpp"
 #include "stm/pessimistic.hpp"
+#include "stm/registry.hpp"
 #include "stm/tl2.hpp"
 #include "stm/tml.hpp"
 
 namespace duo::stm {
 namespace {
 
-using Factory = std::function<std::unique_ptr<Stm>(ObjId, Recorder*)>;
-
-struct StmCase {
-  const char* name;
-  Factory make;
+class AllStms : public ::testing::TestWithParam<BackendInfo> {
+ protected:
+  std::unique_ptr<Stm> make(ObjId n, Recorder* r) {
+    auto stm = make_stm(GetParam().name, n, r);
+    EXPECT_NE(stm, nullptr) << GetParam().name;
+    return stm;
+  }
 };
 
-class AllStms : public ::testing::TestWithParam<StmCase> {};
-
 TEST_P(AllStms, FreshObjectsReadZero) {
-  auto stm = GetParam().make(4, nullptr);
+  auto stm = make(4, nullptr);
   auto tx = stm->begin();
   for (ObjId x = 0; x < 4; ++x) {
     const auto v = tx->read(x);
@@ -36,7 +39,7 @@ TEST_P(AllStms, FreshObjectsReadZero) {
 }
 
 TEST_P(AllStms, ReadOwnWrite) {
-  auto stm = GetParam().make(2, nullptr);
+  auto stm = make(2, nullptr);
   auto tx = stm->begin();
   ASSERT_TRUE(tx->write(0, 41));
   ASSERT_TRUE(tx->write(0, 42));
@@ -48,7 +51,7 @@ TEST_P(AllStms, ReadOwnWrite) {
 }
 
 TEST_P(AllStms, CommitMakesWritesVisible) {
-  auto stm = GetParam().make(2, nullptr);
+  auto stm = make(2, nullptr);
   {
     auto tx = stm->begin();
     ASSERT_TRUE(tx->write(0, 7));
@@ -62,7 +65,7 @@ TEST_P(AllStms, CommitMakesWritesVisible) {
 }
 
 TEST_P(AllStms, RepeatReadsReturnSameValue) {
-  auto stm = GetParam().make(1, nullptr);
+  auto stm = make(1, nullptr);
   auto tx = stm->begin();
   const auto a = tx->read(0);
   const auto b = tx->read(0);
@@ -76,7 +79,7 @@ TEST_P(AllStms, AbortedWriterInvisible) {
   // instead of skipping. Rollback STMs must hide the aborted write;
   // in-place no-undo STMs (pessimistic) must leave it — and either way the
   // abort must release resources so the next transaction proceeds.
-  auto stm = GetParam().make(1, nullptr);
+  auto stm = make(1, nullptr);
   const Value expected = stm->rolls_back_aborted_writes() ? 0 : 99;
   {
     auto tx = stm->begin();
@@ -92,7 +95,7 @@ TEST_P(AllStms, AbortedWriterInvisible) {
 }
 
 TEST_P(AllStms, FinishedFlagLifecycle) {
-  auto stm = GetParam().make(1, nullptr);
+  auto stm = make(1, nullptr);
   auto tx = stm->begin();
   EXPECT_FALSE(tx->finished());
   EXPECT_TRUE(tx->commit());
@@ -100,7 +103,7 @@ TEST_P(AllStms, FinishedFlagLifecycle) {
 }
 
 TEST_P(AllStms, SequentialTransactionsCompose) {
-  auto stm = GetParam().make(1, nullptr);
+  auto stm = make(1, nullptr);
   for (Value i = 1; i <= 50; ++i) {
     auto tx = stm->begin();
     const auto v = tx->read(0);
@@ -112,7 +115,7 @@ TEST_P(AllStms, SequentialTransactionsCompose) {
 }
 
 TEST_P(AllStms, AtomicallyCommits) {
-  auto stm = GetParam().make(1, nullptr);
+  auto stm = make(1, nullptr);
   const bool ok = atomically(*stm, [&](Transaction& tx) {
     const auto v = tx.read(0);
     if (!v || !tx.write(0, *v + 5)) return Step::kRetry;
@@ -123,7 +126,7 @@ TEST_P(AllStms, AtomicallyCommits) {
 }
 
 TEST_P(AllStms, AtomicallyAbandon) {
-  auto stm = GetParam().make(1, nullptr);
+  auto stm = make(1, nullptr);
   const bool ok = atomically(*stm, [&](Transaction& tx) {
     if (!tx.write(0, 1)) return Step::kRetry;
     return Step::kAbandon;
@@ -135,7 +138,7 @@ TEST_P(AllStms, AtomicallyAbandon) {
 
 TEST_P(AllStms, RecorderProducesWellFormedHistory) {
   Recorder rec(256);
-  auto stm = GetParam().make(2, &rec);
+  auto stm = make(2, &rec);
   {
     auto tx = stm->begin();
     ASSERT_TRUE(tx->read(0).has_value());
@@ -154,7 +157,7 @@ TEST_P(AllStms, RecorderProducesWellFormedHistory) {
 
 TEST_P(AllStms, RepeatReadsRecordOnce) {
   Recorder rec(256);
-  auto stm = GetParam().make(1, &rec);
+  auto stm = make(1, &rec);
   auto tx = stm->begin();
   ASSERT_TRUE(tx->read(0).has_value());
   ASSERT_TRUE(tx->read(0).has_value());
@@ -167,26 +170,9 @@ TEST_P(AllStms, RepeatReadsRecordOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Implementations, AllStms,
-    ::testing::Values(
-        StmCase{"tl2",
-                [](ObjId n, Recorder* r) {
-                  return std::make_unique<Tl2Stm>(n, r);
-                }},
-        StmCase{"norec",
-                [](ObjId n, Recorder* r) {
-                  return std::make_unique<NorecStm>(n, r);
-                }},
-        StmCase{"tml",
-                [](ObjId n, Recorder* r) {
-                  return std::make_unique<TmlStm>(n, r);
-                }},
-        StmCase{"pessimistic",
-                [](ObjId n, Recorder* r) {
-                  return std::make_unique<PessimisticStm>(n, r);
-                }}),
-    [](const ::testing::TestParamInfo<StmCase>& info) {
-      return info.param.name;
+    Registry, AllStms, ::testing::ValuesIn(registered_backends()),
+    [](const ::testing::TestParamInfo<BackendInfo>& info) {
+      return test_identifier(info.param);
     });
 
 TEST(Tl2Specifics, ConflictingWriterAbortsReaderValidation) {

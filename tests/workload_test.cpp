@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "stm/norec.hpp"
+#include "stm/pessimistic.hpp"
 #include "stm/tl2.hpp"
 #include "stm/workload.hpp"
 
@@ -28,6 +29,29 @@ TEST(Workloads, RandomMixRecordedHistoriesAreUniqueWrite) {
   opts.write_fraction = 0.7;
   run_random_mix(stm, opts);
   const auto h = rec.finish(4);
+  EXPECT_TRUE(h.has_unique_writes());
+}
+
+TEST(Workloads, UniqueWritesSurviveStressParameters) {
+  // Regression test for the write-value encoding. The old additive packing
+  // ((tid+1)*1e9 + (i+1)*1e5 + attempt*100 + op) overflowed txn sequence
+  // numbers into the next thread's slot: thread 0's txn i and thread 1's
+  // txn i-10'000 produced identical values, so at txns_per_thread > 10'000
+  // the recorded history silently lost the unique-writes property (and with
+  // it the Theorem 11 fast path). The pessimistic STM never aborts, so
+  // every transaction commits on attempt 0 and the collision is
+  // deterministic: thread 0's txn 10'000 == thread 1's txn 0. The bit-field
+  // encoding keeps the fields disjoint.
+  Recorder rec(1 << 17);
+  PessimisticStm stm(1, &rec);
+  WorkloadOptions opts;
+  opts.threads = 2;
+  opts.txns_per_thread = 10'001;
+  opts.ops_per_txn = 1;
+  opts.write_fraction = 1.0;  // small value space: every op writes X0
+  const auto stats = run_random_mix(stm, opts);
+  EXPECT_EQ(stats.committed, 2u * 10'001u);
+  const auto h = rec.finish(1);
   EXPECT_TRUE(h.has_unique_writes());
 }
 

@@ -36,6 +36,9 @@
 //   --follow          with --stream on a file: poll for appended events
 //                     until the file stops growing for --idle-ms
 //   --idle-ms N       --follow idle cutoff in milliseconds (default 2000)
+//   --list-stms       print the STM backend registry (name, update policy,
+//                     rollback capability, declared du-opacity expectation)
+//                     and exit
 //
 // Exit code: 0 if every input satisfies the criterion, 2 if any does not
 // (or is undecided within budget), 1 on usage/input errors.
@@ -61,6 +64,8 @@
 #include "history/parser.hpp"
 #include "history/printer.hpp"
 #include "monitor/monitor.hpp"
+#include "stm/registry.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -88,8 +93,28 @@ void print_usage(std::FILE* out) {
                "<trace-file|directory|->...\n"
                "       duo_check --stream [--follow] [--idle-ms N] "
                "<trace-file|->\n"
+               "       duo_check --list-stms\n"
                "trace format: W1(X0,1) R2(X0)=1 C1 C2 ... "
                "(see src/history/parser.hpp)\n");
+}
+
+/// --list-stms: the backend registry as a table — the same metadata the
+/// conformance matrix enforces, so the CLI always reflects what is tested.
+void print_registry() {
+  duo::util::Table table({"name", "update", "rolls back aborted writes",
+                          "expected", "aliases", "description"});
+  for (const auto& b : duo::stm::registered_backends()) {
+    std::string aliases;
+    for (const auto& a : b.aliases) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += a;
+    }
+    table.add_row({b.name, duo::stm::to_string(b.update_policy),
+                   b.rolls_back_aborted_writes ? "yes" : "no",
+                   duo::stm::to_string(b.expected), aliases, b.summary});
+  }
+  std::printf("registered STM backends (stm::make_stm names):\n%s",
+              table.render().c_str());
 }
 
 /// Reads a trace, distinguishing I/O failure (nullopt) from a legitimately
@@ -162,6 +187,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_usage(stdout);
+      std::exit(0);
+    }
+    if (arg == "--list-stms") {
+      print_registry();
       std::exit(0);
     }
     if (arg == "--stream") {

@@ -52,4 +52,24 @@ std::string to_string(Verdict v) {
   DUO_UNREACHABLE("bad Verdict");
 }
 
+std::string to_string(EngineKind k) {
+  switch (k) {
+    case EngineKind::kAuto: return "auto";
+    case EngineKind::kGraph: return "graph";
+    case EngineKind::kDfs: return "dfs";
+  }
+  DUO_UNREACHABLE("bad EngineKind");
+}
+
+std::optional<EngineKind> engine_from_name(const std::string& name) {
+  std::string n;
+  n.reserve(name.size());
+  for (const char c : name)
+    n.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (n == "auto") return EngineKind::kAuto;
+  if (n == "graph") return EngineKind::kGraph;
+  if (n == "dfs" || n == "search") return EngineKind::kDfs;
+  return std::nullopt;
+}
+
 }  // namespace duo::checker

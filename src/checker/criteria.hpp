@@ -34,6 +34,47 @@ enum class Verdict : std::uint8_t { kYes, kNo, kUnknown };
 
 std::string to_string(Verdict v);
 
+/// Which decision engine a check runs on (see checker/engine.hpp):
+///   - kAuto routes to the polynomial graph engine when the history has the
+///     unique-writes property (the class every workload and STM backend in
+///     this repository produces) and to the DFS otherwise;
+///   - kGraph / kDfs force one engine. A forced graph engine on an input it
+///     cannot decide reports kUnknown instead of silently searching.
+enum class EngineKind : std::uint8_t { kAuto, kGraph, kDfs };
+
+std::string to_string(EngineKind k);
+
+/// Inverse of to_string, case-insensitive (auto, graph, dfs); nullopt for
+/// unknown names. Used by the duo_check --engine flag.
+std::optional<EngineKind> engine_from_name(const std::string& name);
+
+/// Options shared by every criterion checker. The per-criterion option
+/// structs (DuOpacityOptions, FinalStateOptions, ...) are aliases of this
+/// type, so one struct configures a check no matter which entry point runs
+/// it. Implicitly constructible from a bare node budget for the historical
+/// `check_x(h, {budget})` call shape.
+struct CheckOptions {
+  CheckOptions() = default;
+  CheckOptions(std::uint64_t budget) : node_budget(budget) {}  // NOLINT
+
+  /// DFS node budget (graph-engine checks never consume it).
+  std::uint64_t node_budget = 50'000'000;
+  /// Engine routing policy.
+  EngineKind engine = EngineKind::kAuto;
+  /// DFS memo-table entry cap (see SearchOptions::memo_cap).
+  std::size_t memo_cap = 1u << 22;
+};
+
+/// How a verdict was produced: which engine ran, why it was selected, and —
+/// for the graph engine — the constraint-graph size. Powers the duo_check
+/// --explain-engine output.
+struct EngineTrace {
+  std::string engine;  // "graph", "dfs", or "graph->dfs" after a fallback
+  std::string reason;  // routing rationale, human-readable
+  std::uint64_t graph_nodes = 0;  // graph engine only: node count
+  std::uint64_t graph_edges = 0;  // graph engine only: edge count
+};
+
 struct CheckResult {
   Verdict verdict = Verdict::kUnknown;
   /// Witness serialization (present when verdict == kYes and the criterion
@@ -43,6 +84,7 @@ struct CheckResult {
   /// produce (e.g. the du-opacity analysis of a final-state witness).
   std::string explanation;
   SearchStats stats;
+  EngineTrace engine;
 
   bool yes() const noexcept { return verdict == Verdict::kYes; }
   bool no() const noexcept { return verdict == Verdict::kNo; }

@@ -1,14 +1,21 @@
 #include "checker/du_opacity.hpp"
 
+#include "checker/engine.hpp"
 #include "checker/final_state_opacity.hpp"
 #include "checker/legality.hpp"
 
 namespace duo::checker {
 
 CheckResult check_du_opacity(const History& h, const DuOpacityOptions& opts) {
+  return check_with_engine(h, Criterion::kDuOpacity, opts);
+}
+
+CheckResult check_du_opacity_dfs(const History& h,
+                                 const DuOpacityOptions& opts) {
   SearchOptions so;
   so.deferred_update = true;
   so.node_budget = opts.node_budget;
+  so.memo_cap = opts.memo_cap;
   SearchResult r = find_serialization(h, so);
 
   CheckResult out;
@@ -29,9 +36,8 @@ CheckResult check_du_opacity(const History& h, const DuOpacityOptions& opts) {
   out.verdict = Verdict::kNo;
   // Produce a paper-style explanation when the history is final-state
   // opaque: analyze one final-state witness for deferred-update violations.
-  FinalStateOptions fso;
-  fso.node_budget = opts.node_budget;
-  const CheckResult fs = check_final_state_opacity(h, fso);
+  // Options (budget, engine policy) carry over to the diagnostic check.
+  const CheckResult fs = check_final_state_opacity(h, opts);
   if (fs.yes() && fs.witness.has_value()) {
     const auto violations = deferred_update_violations(h, *fs.witness);
     if (!violations.empty()) {

@@ -8,12 +8,18 @@
 
 namespace duo::checker {
 
-struct DuOpacityOptions {
-  std::uint64_t node_budget = 50'000'000;
-};
+using DuOpacityOptions = CheckOptions;
 
+/// Routed entry point: selects an engine per opts.engine (see engine.hpp)
+/// and decides du-opacity with it.
 CheckResult check_du_opacity(const History& h,
                              const DuOpacityOptions& opts = {});
+
+/// The DFS implementation, bypassing engine routing. DfsEngine dispatches
+/// here; call directly only to pin the exponential search (benchmarks, the
+/// engine-equivalence tests).
+CheckResult check_du_opacity_dfs(const History& h,
+                                 const DuOpacityOptions& opts = {});
 
 /// Diagnose why a final-state serialization fails the deferred-update
 /// condition: returns the violations of Def. 3(3) for the given witness.

@@ -1,0 +1,117 @@
+#include "checker/engine.hpp"
+
+#include <sstream>
+
+#include "checker/du_opacity.hpp"
+#include "checker/final_state_opacity.hpp"
+#include "checker/graph_engine.hpp"
+#include "checker/opacity.hpp"
+#include "checker/rco_opacity.hpp"
+#include "checker/strict_serializability.hpp"
+#include "checker/tms2.hpp"
+#include "util/assert.hpp"
+
+namespace duo::checker {
+
+namespace {
+
+class DfsEngine final : public Engine {
+ public:
+  const char* name() const noexcept override { return "dfs"; }
+
+  bool supports(const history::History&, Criterion) const override {
+    return true;  // exact on every input, within budget
+  }
+
+  CheckResult check(const history::History& h, Criterion c,
+                    const CheckOptions& opts) const override {
+    switch (c) {
+      case Criterion::kFinalStateOpacity:
+        return check_final_state_opacity_dfs(h, opts);
+      case Criterion::kDuOpacity:
+        return check_du_opacity_dfs(h, opts);
+      case Criterion::kRcoOpacity:
+        return check_rco_opacity_dfs(h, opts);
+      case Criterion::kTms2:
+        return check_tms2_dfs(h, opts);
+      case Criterion::kStrictSerializability:
+        return check_strict_serializability_dfs(h, opts);
+      case Criterion::kOpacity: {
+        // The per-prefix scan. opts.engine propagates into the inner
+        // du/final-state sub-checks, so with kAuto even the "DFS" opacity
+        // path decides unique-writes prefixes on the graph engine.
+        const OpacityResult r = check_opacity(h, opts);
+        CheckResult out;
+        out.verdict = r.verdict;
+        out.stats.nodes = r.total_nodes;
+        if (r.no() && r.first_bad_prefix.has_value()) {
+          std::ostringstream msg;
+          msg << "first non-final-state-opaque prefix ends at event "
+              << *r.first_bad_prefix;
+          out.explanation = msg.str();
+        }
+        return out;
+      }
+    }
+    DUO_UNREACHABLE("bad Criterion");
+  }
+};
+
+}  // namespace
+
+const Engine& dfs_engine() {
+  static const DfsEngine kEngine;
+  return kEngine;
+}
+
+EngineChoice select_engine(const history::History& h, Criterion c,
+                           const CheckOptions& opts) {
+  switch (opts.engine) {
+    case EngineKind::kGraph:
+      return {&graph_engine(), "forced (--engine=graph)"};
+    case EngineKind::kDfs:
+      return {&dfs_engine(), "forced (--engine=dfs)"};
+    case EngineKind::kAuto:
+      break;
+  }
+  if (graph_engine().supports(h, c))
+    return {&graph_engine(),
+            "auto: history has unique writes; criterion reduces to "
+            "precedence-graph acyclicity"};
+  return {&dfs_engine(), "auto: history lacks unique writes"};
+}
+
+CheckResult check_with_engine(const history::History& h, Criterion c,
+                              const CheckOptions& opts) {
+  const EngineChoice choice = select_engine(h, c, opts);
+  // Auto routing just established supports(); skip the graph engine's own
+  // re-verification (kOpacity would otherwise repeat the unique-writes
+  // sort). The singleton's concrete type is known, so the cast is safe.
+  const bool auto_graph = opts.engine == EngineKind::kAuto &&
+                          choice.engine == &graph_engine();
+  CheckResult result =
+      auto_graph ? static_cast<const GraphEngine*>(choice.engine)
+                       ->check_supported(h, c, opts)
+                 : choice.engine->check(h, c, opts);
+  result.engine.engine = choice.engine->name();
+  result.engine.reason = choice.reason;
+
+  // Auto-mode exactness guarantee: a graph-engine decline (kUnknown) is
+  // answered by the DFS instead of surfacing. Forced kGraph keeps the
+  // decline visible.
+  if (opts.engine == EngineKind::kAuto &&
+      choice.engine == &graph_engine() &&
+      result.verdict == Verdict::kUnknown) {
+    const std::string decline = result.explanation;
+    const EngineTrace graph_trace = result.engine;
+    result = dfs_engine().check(h, c, opts);
+    result.engine.engine = "graph->dfs";
+    result.engine.reason =
+        "graph engine declined (" + decline + "); fell back to dfs";
+    result.engine.graph_nodes = graph_trace.graph_nodes;
+    result.engine.graph_edges = graph_trace.graph_edges;
+  }
+  return result;
+}
+
+}  // namespace duo::checker

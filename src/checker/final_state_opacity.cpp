@@ -1,12 +1,20 @@
 #include "checker/final_state_opacity.hpp"
 
+#include "checker/engine.hpp"
+
 namespace duo::checker {
 
 CheckResult check_final_state_opacity(const History& h,
                                       const FinalStateOptions& opts) {
+  return check_with_engine(h, Criterion::kFinalStateOpacity, opts);
+}
+
+CheckResult check_final_state_opacity_dfs(const History& h,
+                                          const FinalStateOptions& opts) {
   SearchOptions so;
   so.deferred_update = false;
   so.node_budget = opts.node_budget;
+  so.memo_cap = opts.memo_cap;
   SearchResult r = find_serialization(h, so);
 
   CheckResult out;

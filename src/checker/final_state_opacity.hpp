@@ -6,13 +6,16 @@
 
 namespace duo::checker {
 
-struct FinalStateOptions {
-  std::uint64_t node_budget = 50'000'000;
-};
+using FinalStateOptions = CheckOptions;
 
 /// Does `h` admit a legal t-complete t-sequential history equivalent to a
 /// completion of `h` that respects the real-time order of `h`?
+/// Routed entry point (engine per opts.engine, see engine.hpp).
 CheckResult check_final_state_opacity(const History& h,
                                       const FinalStateOptions& opts = {});
+
+/// The DFS implementation, bypassing engine routing (see engine.hpp).
+CheckResult check_final_state_opacity_dfs(const History& h,
+                                          const FinalStateOptions& opts = {});
 
 }  // namespace duo::checker

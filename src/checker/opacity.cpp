@@ -8,11 +8,9 @@ namespace duo::checker {
 namespace {
 
 /// Final-state check of the prefix of length n; folds stats into `out`.
-Verdict prefix_fso(const History& h, std::size_t n, std::uint64_t budget,
+Verdict prefix_fso(const History& h, std::size_t n, const OpacityOptions& opts,
                    OpacityResult& out) {
-  FinalStateOptions fso;
-  fso.node_budget = budget;
-  const CheckResult r = check_final_state_opacity(h.prefix(n), fso);
+  const CheckResult r = check_final_state_opacity(h.prefix(n), opts);
   out.total_nodes += r.stats.nodes;
   ++out.prefix_searches;
   return r.verdict;
@@ -24,7 +22,7 @@ OpacityResult check_opacity_naive(const History& h,
                                   const OpacityOptions& opts) {
   OpacityResult out;
   for (std::size_t n = 0; n <= h.size(); ++n) {
-    const Verdict v = prefix_fso(h, n, opts.node_budget, out);
+    const Verdict v = prefix_fso(h, n, opts, out);
     if (v == Verdict::kUnknown) {
       out.verdict = Verdict::kUnknown;
       return out;
@@ -46,15 +44,12 @@ OpacityResult check_opacity(const History& h, const OpacityOptions& opts) {
   // prefix-closed (Corollary 2), so du-opaque prefixes form a downward-
   // closed set of lengths; every prefix of a du-opaque prefix is final-state
   // opaque (Theorem 10 + Corollary 2).
-  DuOpacityOptions duo_opts;
-  duo_opts.node_budget = opts.node_budget;
-
   std::size_t lo = 0;  // known du-opaque prefix length (empty history is)
   std::size_t hi = h.size() + 1;  // first length NOT known du-opaque
   bool du_unknown = false;
   while (lo + 1 < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    const CheckResult r = check_du_opacity(h.prefix(mid), duo_opts);
+    const CheckResult r = check_du_opacity(h.prefix(mid), opts);
     out.total_nodes += r.stats.nodes;
     if (r.verdict == Verdict::kUnknown) {
       du_unknown = true;
@@ -76,7 +71,7 @@ OpacityResult check_opacity(const History& h, const OpacityOptions& opts) {
   // Prefixes of length 0..lo are final-state opaque via du-opacity of the
   // length-lo prefix. Check the remaining lengths directly.
   for (std::size_t n = lo + 1; n <= h.size(); ++n) {
-    const Verdict v = prefix_fso(h, n, opts.node_budget, out);
+    const Verdict v = prefix_fso(h, n, opts, out);
     if (v == Verdict::kUnknown) {
       out.verdict = Verdict::kUnknown;
       return out;

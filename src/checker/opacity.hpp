@@ -16,9 +16,7 @@
 
 namespace duo::checker {
 
-struct OpacityOptions {
-  std::uint64_t node_budget = 50'000'000;
-};
+using OpacityOptions = CheckOptions;
 
 struct OpacityResult {
   Verdict verdict = Verdict::kUnknown;
@@ -34,6 +32,12 @@ struct OpacityResult {
   bool no() const noexcept { return verdict == Verdict::kNo; }
 };
 
+/// Engine note: both implementations keep their exact per-prefix semantics
+/// (including first_bad_prefix); opts.engine routes the *inner* du-opacity /
+/// final-state sub-checks, so unique-writes prefixes are decided by the
+/// polynomial graph engine while the scan structure stays unchanged. The
+/// whole-history graph shortcut for opacity (Theorem 11) lives in
+/// GraphEngine and is taken by check_criterion / CheckerPool / duo_check.
 OpacityResult check_opacity(const History& h, const OpacityOptions& opts = {});
 OpacityResult check_opacity_naive(const History& h,
                                   const OpacityOptions& opts = {});

@@ -58,8 +58,7 @@ std::vector<CheckResult> CheckerPool::check_batch(
   const std::size_t workers = std::min(num_threads_, histories.size());
   if (workers == 1) {
     for (std::size_t i = 0; i < histories.size(); ++i)
-      results[i] = check_criterion(histories[i], opts_.criterion,
-                                   opts_.check.node_budget);
+      results[i] = check_criterion(histories[i], opts_.criterion, opts_.check);
     return results;
   }
 
@@ -93,8 +92,8 @@ std::vector<CheckResult> CheckerPool::check_batch(
           continue;  // lost a race; rescan
         }
       }
-      results[index] = check_criterion(histories[index], opts_.criterion,
-                                       opts_.check.node_budget);
+      results[index] =
+          check_criterion(histories[index], opts_.criterion, opts_.check);
     }
   });
   return results;

@@ -25,8 +25,10 @@ struct PoolOptions {
   std::size_t num_threads = 0;
   /// Criterion every history is judged under.
   Criterion criterion = Criterion::kDuOpacity;
-  /// Per-history checker options (node budget).
-  DuOpacityOptions check;
+  /// Per-history checker options (node budget, engine routing, memo cap);
+  /// each worker's checks go through the engine router, so unique-writes
+  /// histories in a batch are decided by the polynomial graph engine.
+  CheckOptions check;
 };
 
 class CheckerPool {

@@ -1,14 +1,20 @@
 #include "checker/rco_opacity.hpp"
 
 #include "checker/constraints.hpp"
+#include "checker/engine.hpp"
 
 namespace duo::checker {
 
 CheckResult check_rco_opacity(const History& h, const RcoOptions& opts) {
+  return check_with_engine(h, Criterion::kRcoOpacity, opts);
+}
+
+CheckResult check_rco_opacity_dfs(const History& h, const RcoOptions& opts) {
   SearchOptions so;
   so.deferred_update = false;
   so.commit_edges = rco_commit_edges(h);
   so.node_budget = opts.node_budget;
+  so.memo_cap = opts.memo_cap;
   SearchResult r = find_serialization(h, so);
 
   CheckResult out;

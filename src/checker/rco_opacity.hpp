@@ -9,10 +9,13 @@
 
 namespace duo::checker {
 
-struct RcoOptions {
-  std::uint64_t node_budget = 50'000'000;
-};
+using RcoOptions = CheckOptions;
 
+/// Routed entry point (engine per opts.engine, see engine.hpp).
 CheckResult check_rco_opacity(const History& h, const RcoOptions& opts = {});
+
+/// The DFS implementation, bypassing engine routing (see engine.hpp).
+CheckResult check_rco_opacity_dfs(const History& h,
+                                  const RcoOptions& opts = {});
 
 }  // namespace duo::checker

@@ -210,7 +210,7 @@ class Searcher {
     if (budget_exhausted_) return false;
 
     // Only fully-failed subtrees are memoized (success returns early above).
-    if (opts_.memoize && memo_.size() < kMemoCap) {
+    if (opts_.memoize && memo_.size() < opts_.memo_cap) {
       memo_.insert(std::move(key));
       stats_.memo_entries = memo_.size();
     }
@@ -303,8 +303,6 @@ class Searcher {
     }
     return key;
   }
-
-  static constexpr std::size_t kMemoCap = 1u << 22;
 
   const History& h_;
   const SearchOptions& opts_;

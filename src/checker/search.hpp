@@ -41,6 +41,9 @@ struct SearchOptions {
   std::uint64_t node_budget = 50'000'000;
   /// Enable the memo table (disable to measure its effect in benchmarks).
   bool memoize = true;
+  /// Maximum memo-table entries; past the cap failed subtrees are no longer
+  /// recorded (sound — memoization only skips work) but lookups continue.
+  std::size_t memo_cap = 1u << 22;
   /// Run the necessary-edge pre-pass (fast_reject.hpp) before searching;
   /// disable to measure its effect in benchmarks.
   bool use_fast_reject = true;

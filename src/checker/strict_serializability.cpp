@@ -1,5 +1,6 @@
 #include "checker/strict_serializability.hpp"
 
+#include "checker/engine.hpp"
 #include "checker/final_state_opacity.hpp"
 #include "history/event.hpp"
 
@@ -23,9 +24,12 @@ History committed_projection(const History& h) {
 
 CheckResult check_strict_serializability(const History& h,
                                          const StrictSerOptions& opts) {
-  FinalStateOptions fso;
-  fso.node_budget = opts.node_budget;
-  return check_final_state_opacity(committed_projection(h), fso);
+  return check_with_engine(h, Criterion::kStrictSerializability, opts);
+}
+
+CheckResult check_strict_serializability_dfs(const History& h,
+                                             const StrictSerOptions& opts) {
+  return check_final_state_opacity_dfs(committed_projection(h), opts);
 }
 
 }  // namespace duo::checker

@@ -11,12 +11,15 @@
 
 namespace duo::checker {
 
-struct StrictSerOptions {
-  std::uint64_t node_budget = 50'000'000;
-};
+using StrictSerOptions = CheckOptions;
 
+/// Routed entry point (engine per opts.engine, see engine.hpp).
 CheckResult check_strict_serializability(const History& h,
                                          const StrictSerOptions& opts = {});
+
+/// The DFS implementation, bypassing engine routing (see engine.hpp).
+CheckResult check_strict_serializability_dfs(const History& h,
+                                             const StrictSerOptions& opts = {});
 
 /// The committed projection itself (exposed for tests): events of committed
 /// and commit-pending transactions only.

@@ -1,14 +1,20 @@
 #include "checker/tms2.hpp"
 
 #include "checker/constraints.hpp"
+#include "checker/engine.hpp"
 
 namespace duo::checker {
 
 CheckResult check_tms2(const History& h, const Tms2Options& opts) {
+  return check_with_engine(h, Criterion::kTms2, opts);
+}
+
+CheckResult check_tms2_dfs(const History& h, const Tms2Options& opts) {
   SearchOptions so;
   so.deferred_update = false;
   so.extra_edges = tms2_edges(h);
   so.node_budget = opts.node_budget;
+  so.memo_cap = opts.memo_cap;
   SearchResult r = find_serialization(h, so);
 
   CheckResult out;

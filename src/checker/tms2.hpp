@@ -9,10 +9,12 @@
 
 namespace duo::checker {
 
-struct Tms2Options {
-  std::uint64_t node_budget = 50'000'000;
-};
+using Tms2Options = CheckOptions;
 
+/// Routed entry point (engine per opts.engine, see engine.hpp).
 CheckResult check_tms2(const History& h, const Tms2Options& opts = {});
+
+/// The DFS implementation, bypassing engine routing (see engine.hpp).
+CheckResult check_tms2_dfs(const History& h, const Tms2Options& opts = {});
 
 }  // namespace duo::checker

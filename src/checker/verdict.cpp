@@ -3,8 +3,8 @@
 #include <sstream>
 
 #include "checker/du_opacity.hpp"
+#include "checker/engine.hpp"
 #include "checker/final_state_opacity.hpp"
-#include "checker/opacity.hpp"
 #include "checker/rco_opacity.hpp"
 #include "checker/strict_serializability.hpp"
 #include "checker/tms2.hpp"
@@ -22,16 +22,14 @@ std::string VerdictVector::to_string() const {
   return out.str();
 }
 
-VerdictVector evaluate_all(const History& h, std::uint64_t node_budget) {
+VerdictVector evaluate_all(const History& h, const CheckOptions& opts) {
   VerdictVector v;
-  v.final_state =
-      check_final_state_opacity(h, FinalStateOptions{node_budget}).verdict;
-  v.opaque = check_opacity(h, OpacityOptions{node_budget}).verdict;
-  v.du_opaque = check_du_opacity(h, DuOpacityOptions{node_budget}).verdict;
-  v.rco = check_rco_opacity(h, RcoOptions{node_budget}).verdict;
-  v.tms2 = check_tms2(h, Tms2Options{node_budget}).verdict;
-  v.strict_ser =
-      check_strict_serializability(h, StrictSerOptions{node_budget}).verdict;
+  v.final_state = check_final_state_opacity(h, opts).verdict;
+  v.opaque = check_criterion(h, Criterion::kOpacity, opts).verdict;
+  v.du_opaque = check_du_opacity(h, opts).verdict;
+  v.rco = check_rco_opacity(h, opts).verdict;
+  v.tms2 = check_tms2(h, opts).verdict;
+  v.strict_ser = check_strict_serializability(h, opts).verdict;
   return v;
 }
 
@@ -66,33 +64,8 @@ std::string containment_violations(const VerdictVector& v) {
 }
 
 CheckResult check_criterion(const History& h, Criterion c,
-                            std::uint64_t node_budget) {
-  switch (c) {
-    case Criterion::kFinalStateOpacity:
-      return check_final_state_opacity(h, FinalStateOptions{node_budget});
-    case Criterion::kDuOpacity:
-      return check_du_opacity(h, DuOpacityOptions{node_budget});
-    case Criterion::kRcoOpacity:
-      return check_rco_opacity(h, RcoOptions{node_budget});
-    case Criterion::kTms2:
-      return check_tms2(h, Tms2Options{node_budget});
-    case Criterion::kStrictSerializability:
-      return check_strict_serializability(h, StrictSerOptions{node_budget});
-    case Criterion::kOpacity: {
-      const OpacityResult r = check_opacity(h, OpacityOptions{node_budget});
-      CheckResult out;
-      out.verdict = r.verdict;
-      out.stats.nodes = r.total_nodes;
-      if (r.no() && r.first_bad_prefix.has_value()) {
-        std::ostringstream msg;
-        msg << "first non-final-state-opaque prefix ends at event "
-            << *r.first_bad_prefix;
-        out.explanation = msg.str();
-      }
-      return out;
-    }
-  }
-  DUO_UNREACHABLE("bad Criterion");
+                            const CheckOptions& opts) {
+  return check_with_engine(h, c, opts);
 }
 
 }  // namespace duo::checker

@@ -21,15 +21,16 @@ struct VerdictVector {
   std::string to_string() const;
 };
 
-VerdictVector evaluate_all(const History& h,
-                           std::uint64_t node_budget = 50'000'000);
+VerdictVector evaluate_all(const History& h, const CheckOptions& opts = {});
 
-/// Check a single criterion, dispatching to its checker. The opacity
+/// Check a single criterion through the engine router (see engine.hpp):
+/// opts.engine selects auto / graph / dfs. On the DFS path the opacity
 /// checker's prefix-level result is adapted into a CheckResult (no witness;
-/// the first bad prefix index lands in the explanation). Used by the
-/// duo_check --criterion flag and the CheckerPool.
+/// the first bad prefix index lands in the explanation); the graph engine
+/// decides opacity directly via Theorem 11. Used by the duo_check
+/// --criterion flag and the CheckerPool.
 CheckResult check_criterion(const History& h, Criterion c,
-                            std::uint64_t node_budget = 50'000'000);
+                            const CheckOptions& opts = {});
 
 /// The containment structure the paper proves/conjectures, as a checkable
 /// predicate on a verdict vector (ignores kUnknown entries):

@@ -245,6 +245,82 @@ History random_du_history(const GenOptions& opts, util::Xoshiro256& rng) {
       .value_or_die();
 }
 
+History deterministic_live_run(std::size_t target_events, int threads,
+                               ObjId objects) {
+  DUO_EXPECTS(threads >= 1 && objects >= 1);
+  std::vector<Value> store(static_cast<std::size_t>(objects), 0);
+  std::vector<Event> events;
+  events.reserve(target_events + 6 * static_cast<std::size_t>(threads));
+  struct Thread {
+    TxnId txn = 0;
+    int step = 0;  // 0..5: R? R! W? W! C? C/A!
+    ObjId read_obj = 0;
+    ObjId write_obj = 0;
+    Value read_val = 0;
+    Value write_val = 0;
+  };
+  std::vector<Thread> ths(static_cast<std::size_t>(threads));
+  TxnId next_txn = 1;
+  Value next_val = 1;
+  // Knuth-style multiplicative scatter: round-robin txn ids have arithmetic
+  // structure mod small object counts, which would partition reads and
+  // writes onto disjoint objects and make every read an initial read.
+  const auto scatter = [objects](std::uint64_t x) {
+    return static_cast<ObjId>((x * 2654435761u >> 7) %
+                              static_cast<std::uint64_t>(objects));
+  };
+  // Run whole transactions until the target is reached, then let every
+  // thread finish its transaction so the history is t-complete.
+  bool stop = false;
+  bool mid_txn = true;
+  while (!stop || mid_txn) {
+    stop = stop || events.size() >= target_events;
+    mid_txn = false;
+    for (auto& th : ths) {
+      if (stop && th.step == 0) continue;  // don't start new transactions
+      switch (th.step) {
+        case 0: {
+          th.txn = next_txn++;
+          th.read_obj = scatter(static_cast<std::uint64_t>(th.txn));
+          th.write_obj = scatter(static_cast<std::uint64_t>(th.txn) + 77);
+          th.write_val = next_val++;
+          events.push_back(Event::inv_read(th.txn, th.read_obj));
+          break;
+        }
+        case 1:
+          th.read_val = store[static_cast<std::size_t>(th.read_obj)];
+          events.push_back(Event::resp_read(th.txn, th.read_obj, th.read_val));
+          break;
+        case 2:
+          events.push_back(
+              Event::inv_write(th.txn, th.write_obj, th.write_val));
+          break;
+        case 3:
+          events.push_back(Event::resp_write_ok(th.txn, th.write_obj));
+          break;
+        case 4:
+          events.push_back(Event::inv_tryc(th.txn));
+          break;
+        case 5:
+          // Value validation: unique writes make value equality mean "my
+          // read is still the latest committed version", so installing at
+          // the C response keeps every prefix du-opaque; a changed value is
+          // a genuine conflict and the transaction aborts.
+          if (store[static_cast<std::size_t>(th.read_obj)] == th.read_val) {
+            events.push_back(Event::resp_commit(th.txn));
+            store[static_cast<std::size_t>(th.write_obj)] = th.write_val;
+          } else {
+            events.push_back(Event::resp_abort(th.txn, OpKind::kTryCommit));
+          }
+          break;
+      }
+      th.step = (th.step + 1) % 6;
+      if (th.step != 0) mid_txn = true;
+    }
+  }
+  return std::move(History::make(std::move(events), objects)).value_or_die();
+}
+
 History random_history(const GenOptions& opts, util::Xoshiro256& rng) {
   // Value pools: anything some transaction writes to the object, plus the
   // initial value — plausible reads without consistency guarantees.

@@ -51,6 +51,21 @@ struct GenOptions {
 /// Du-opaque-by-construction history (see header comment).
 History random_du_history(const GenOptions& opts, util::Xoshiro256& rng);
 
+/// Deterministic du-opaque unique-writes "live run": `threads` logical
+/// threads execute read-one-write-one transactions back to back against an
+/// idealized value-validating atomic-commit deferred-update store,
+/// interleaved round-robin at event granularity. Reads return the committed
+/// value at response time; tryC re-validates the read against the store
+/// (values are globally unique, so equality means unchanged) and either
+/// installs the write atomically at the C response or answers A — so every
+/// prefix is du-opaque, with genuine read-write conflicts and contention
+/// aborts. Object choices are hash-scattered, making cross-transaction
+/// reads-from edges common. No RNG — the same arguments always produce the
+/// same history. Shared by bench_engine_scaling, the duo_gen trace
+/// generator, the engine tests, and the CI long-history smoke job.
+History deterministic_live_run(std::size_t target_events, int threads = 4,
+                               ObjId objects = 8);
+
 /// Unconstrained plausible history.
 History random_history(const GenOptions& opts, util::Xoshiro256& rng);
 

@@ -342,16 +342,32 @@ bool History::has_unique_writes() const {
   // the same value to the same object. A transaction rewriting its own value
   // does not violate the condition. Incomplete writes count: the argument of
   // Theorem 11 needs that no other transaction could have produced the value.
-  std::map<std::pair<ObjId, Value>, TxnId> writer;
+  //
+  // Sort-and-scan rather than a map: the engine router evaluates this per
+  // check, so it sits on the graph engine's fast path.
+  struct WriteRec {
+    ObjId obj;
+    Value value;
+    TxnId txn;
+  };
+  std::vector<WriteRec> writes;
+  writes.reserve(static_cast<std::size_t>(num_objects_) + events_.size() / 2);
   constexpr TxnId kInitialTxn = -1;
   for (ObjId x = 0; x < num_objects_; ++x)
-    writer[{x, initial_value(x)}] = kInitialTxn;
-  for (const Transaction& t : txns_) {
-    for (const Op& op : t.ops) {
-      if (op.kind != OpKind::kWrite) continue;
-      auto [it, inserted] = writer.insert({{op.obj, op.arg}, t.id});
-      if (!inserted && it->second != t.id) return false;
-    }
+    writes.push_back({x, initial_value(x), kInitialTxn});
+  for (const Transaction& t : txns_)
+    for (const Op& op : t.ops)
+      if (op.kind == OpKind::kWrite) writes.push_back({op.obj, op.arg, t.id});
+  std::sort(writes.begin(), writes.end(),
+            [](const WriteRec& a, const WriteRec& b) {
+              if (a.obj != b.obj) return a.obj < b.obj;
+              if (a.value != b.value) return a.value < b.value;
+              return a.txn < b.txn;
+            });
+  for (std::size_t i = 1; i < writes.size(); ++i) {
+    const WriteRec& a = writes[i - 1];
+    const WriteRec& b = writes[i];
+    if (a.obj == b.obj && a.value == b.value && a.txn != b.txn) return false;
   }
   return true;
 }

@@ -381,7 +381,9 @@ void OnlineMonitor::run_full_check() {
   const History h = history();
   checker::DuOpacityOptions copts;
   copts.node_budget = opts_.node_budget;
+  copts.engine = opts_.engine;
   const auto result = checker::check_du_opacity(h, copts);
+  if (result.engine.engine == "graph") ++stats_.graph_checks;
   if (result.yes()) {
     DUO_ASSERT(result.witness.has_value());
     verdict_ = Verdict::kYes;

@@ -58,7 +58,7 @@
 #include "checker/criteria.hpp"
 #include "history/event.hpp"
 #include "history/history.hpp"
-#include "monitor/incremental_graph.hpp"
+#include "util/incremental_graph.hpp"
 #include "util/result.hpp"
 
 namespace duo::monitor {
@@ -77,6 +77,12 @@ struct MonitorOptions {
   /// Fixed t-object count; -1 grows the object set as events mention new
   /// ids. Initial values are 0 either way.
   ObjId num_objects = -1;
+  /// Engine routing for the fallback tier (checker/engine.hpp). With the
+  /// default kAuto a unique-writes prefix — the common case for monitored
+  /// live runs — is re-checked by the polynomial graph engine instead of
+  /// the exponential search, so fallbacks stop being the monitor's
+  /// worst-case cost.
+  checker::EngineKind engine = checker::EngineKind::kAuto;
 };
 
 struct MonitorStats {
@@ -89,6 +95,9 @@ struct MonitorStats {
   std::size_t witness_repairs = 0;
   /// Bounded-search fallbacks (History rebuild + check_du_opacity).
   std::size_t full_checks = 0;
+  /// Fallbacks the engine router answered with the polynomial graph engine
+  /// (subset of full_checks).
+  std::size_t graph_checks = 0;
   /// True when kNo was latched by the incremental fast-reject pass rather
   /// than by the fallback search.
   bool latched_by_fast_reject = false;
@@ -191,7 +200,7 @@ class OnlineMonitor {
   std::vector<std::vector<std::size_t>> committed_writers_by_obj_;
   std::vector<std::vector<std::size_t>> reads_by_obj_;
 
-  IncrementalGraph graph_;
+  util::IncrementalGraph graph_;
 
   // Latched verdict + witness of the last kYes prefix.
   Verdict verdict_ = Verdict::kYes;

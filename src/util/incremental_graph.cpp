@@ -1,10 +1,10 @@
-#include "monitor/incremental_graph.hpp"
+#include "util/incremental_graph.hpp"
 
 #include <algorithm>
 
 #include "util/assert.hpp"
 
-namespace duo::monitor {
+namespace duo::util {
 
 std::size_t IncrementalGraph::add_node() {
   const std::size_t id = out_.size();
@@ -122,9 +122,19 @@ bool IncrementalGraph::has_edge(std::size_t a, std::size_t b) const {
   return out_[a].count(b) != 0;
 }
 
+bool IncrementalGraph::reaches(std::size_t a, std::size_t b) {
+  DUO_EXPECTS(a < out_.size() && b < out_.size());
+  if (a == b) return true;
+  if (ord_[a] > ord_[b]) return false;  // order contradicts any a -> b path
+  std::vector<std::size_t> visited;
+  const bool missed = forward_reach(a, ord_[b], b, visited);
+  for (const std::size_t v : visited) mark_[v] = false;
+  return !missed;
+}
+
 std::size_t IncrementalGraph::order_index(std::size_t node) const {
   DUO_EXPECTS(node < ord_.size());
   return ord_[node];
 }
 
-}  // namespace duo::monitor
+}  // namespace duo::util

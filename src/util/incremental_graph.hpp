@@ -1,12 +1,14 @@
-// Dynamic directed graph with online cycle detection for the monitor's
-// necessary-edges constraint set.
+// Dynamic directed graph with online cycle detection.
 //
-// The online safety monitor maintains, per event, the set of serialization
-// edges every du-opaque witness of the current prefix must satisfy (the same
-// derivation as checker/fast_reject.hpp, see monitor.cpp). Edges come and go
-// as transactions change status — a unique candidate writer loses its edge
-// when a second candidate invokes tryC — so the structure must support both
-// insertion with incremental cycle detection and deletion.
+// Two subsystems build their necessary-edges constraint sets on top of this
+// structure. The online safety monitor (monitor/monitor.hpp) maintains, per
+// event, the serialization edges every du-opaque witness of the current
+// prefix must satisfy; edges come and go as transactions change status — a
+// unique candidate writer loses its edge when a second candidate invokes
+// tryC — so the structure must support both insertion with incremental
+// cycle detection and deletion. The polynomial graph engine
+// (checker/graph_engine.hpp) uses the same machinery plus the `reaches`
+// query to saturate forced version-order edges to a fixpoint.
 //
 // Cycle detection uses topological-order maintenance (Pearce & Kelly, "A
 // dynamic topological sort algorithm for directed acyclic graphs", JEA
@@ -26,7 +28,7 @@
 #include <map>
 #include <vector>
 
-namespace duo::monitor {
+namespace duo::util {
 
 class IncrementalGraph {
  public:
@@ -44,6 +46,12 @@ class IncrementalGraph {
   void remove_edge(std::size_t a, std::size_t b);
 
   bool has_edge(std::size_t a, std::size_t b) const;
+
+  /// True iff b is reachable from a (a == b included). Uses the maintained
+  /// topological order to prune: only nodes with order index in
+  /// [ord(a), ord(b)] can lie on a path, so a query touches the affected
+  /// region, not the whole graph, and ord(a) > ord(b) is an O(1) "no".
+  bool reaches(std::size_t a, std::size_t b);
 
   std::size_t num_nodes() const noexcept { return out_.size(); }
   /// Number of distinct present edges (ignoring reference counts).
@@ -73,4 +81,4 @@ class IncrementalGraph {
   std::size_t num_edges_ = 0;
 };
 
-}  // namespace duo::monitor
+}  // namespace duo::util

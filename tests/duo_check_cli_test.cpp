@@ -99,17 +99,55 @@ TEST_F(DuoCheckCli, EmptyTraceIsAVerdictNotAnError) {
 }
 
 TEST_F(DuoCheckCli, BudgetFlagSurfacesExhaustion) {
-  // A trace the checker cannot decide in one node: must report unknown
-  // (exit 2) rather than searching for a long time.
+  // A trace the DFS cannot decide in one node: must report unknown (exit 2)
+  // rather than searching for a long time. Pinned to --engine dfs — the
+  // graph engine never consumes the node budget, so auto routing could
+  // legitimately decide this within budget 1.
   duo::util::Xoshiro256 rng(42);
   duo::gen::GenOptions opts;
   opts.num_txns = 8;
   const auto h = duo::gen::random_du_history(opts, rng);
   const auto trace = write_trace("hard.txt", duo::history::compact(h));
-  EXPECT_EQ(run("--budget 1 " + trace), 2);
+  EXPECT_EQ(run("--engine dfs --budget 1 " + trace), 2);
   EXPECT_NE(stdout_.find("unknown"), std::string::npos) << stdout_;
   // With the default budget the same trace is decidable.
   EXPECT_EQ(run(trace), 0) << stdout_;
+}
+
+TEST_F(DuoCheckCli, EngineFlagAndExplainEngine) {
+  // A unique-writes trace: auto and graph must both decide it on the graph
+  // engine; dfs must bypass it. --explain-engine surfaces the routing.
+  const auto trace = write_trace("uw.txt", "W1(X0,1) C1 R2(X0)=1 C2");
+  EXPECT_EQ(run("--explain-engine " + trace), 0) << stdout_;
+  EXPECT_NE(stdout_.find("engine: graph"), std::string::npos) << stdout_;
+  EXPECT_NE(stdout_.find("unique writes"), std::string::npos) << stdout_;
+
+  EXPECT_EQ(run("--engine dfs --explain-engine " + trace), 0) << stdout_;
+  EXPECT_NE(stdout_.find("engine: dfs"), std::string::npos) << stdout_;
+
+  EXPECT_EQ(run("--engine graph " + trace), 0) << stdout_;
+  EXPECT_EQ(run("--engine warp " + trace), 1);
+}
+
+TEST_F(DuoCheckCli, ForcedGraphOnNonUniqueWritesReportsUnknown) {
+  // Duplicate write values: the graph engine cannot claim the trace, and a
+  // forced --engine graph must say so instead of guessing.
+  const auto trace =
+      write_trace("dup.txt", "W1(X0,1) C1 W2(X0,1) C2 R3(X0)=1 C3");
+  EXPECT_EQ(run("--engine graph --criterion du " + trace), 2);
+  EXPECT_NE(stdout_.find("unknown"), std::string::npos) << stdout_;
+  // Auto routing decides the same trace exactly (via the DFS).
+  EXPECT_EQ(run("--criterion du " + trace), 0) << stdout_;
+}
+
+TEST_F(DuoCheckCli, VerbosePrintsSearchStats) {
+  const auto trace = write_trace("uw.txt", "W1(X0,1) C1 R2(X0)=1 C2");
+  EXPECT_EQ(run("-v --engine dfs " + trace), 0) << stdout_;
+  EXPECT_NE(stdout_.find("search stats: nodes="), std::string::npos)
+      << stdout_;
+  EXPECT_NE(stdout_.find("memo_hits="), std::string::npos) << stdout_;
+  // Verbose implies --explain-engine.
+  EXPECT_NE(stdout_.find("engine: dfs"), std::string::npos) << stdout_;
 }
 
 TEST_F(DuoCheckCli, BadBudgetValueExitsOne) {

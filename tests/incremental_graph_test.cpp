@@ -1,16 +1,17 @@
-// Unit and randomized tests for the monitor's dynamic constraint graph:
-// online cycle detection via topological-order maintenance must agree with
-// a from-scratch DFS on every insertion, across interleaved insertions and
-// deletions.
+// Unit and randomized tests for the shared dynamic constraint graph (used
+// by the online monitor and the polynomial graph engine): online cycle
+// detection via topological-order maintenance must agree with a from-scratch
+// DFS on every insertion, across interleaved insertions and deletions, and
+// the order-pruned reachability query must agree with a plain DFS.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <vector>
 
-#include "monitor/incremental_graph.hpp"
+#include "util/incremental_graph.hpp"
 #include "util/rng.hpp"
 
-namespace duo::monitor {
+namespace duo::util {
 namespace {
 
 TEST(IncrementalGraph, ForwardEdgesAlwaysSucceed) {
@@ -83,6 +84,21 @@ TEST(IncrementalGraph, EdgesAreReferenceCounted) {
   EXPECT_TRUE(g.add_edge(1, 0));
 }
 
+TEST(IncrementalGraph, ReachesFollowsPathsNotOrder) {
+  IncrementalGraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  ASSERT_TRUE(g.add_edge(0, 1));
+  ASSERT_TRUE(g.add_edge(1, 2));
+  ASSERT_TRUE(g.add_edge(3, 4));
+  EXPECT_TRUE(g.reaches(0, 0));
+  EXPECT_TRUE(g.reaches(0, 2));
+  EXPECT_FALSE(g.reaches(2, 0));
+  EXPECT_FALSE(g.reaches(0, 4));  // ordered before 4, but no path
+  // Queries leave no stale marks: repeat both ways.
+  EXPECT_TRUE(g.reaches(0, 2));
+  EXPECT_FALSE(g.reaches(0, 4));
+}
+
 // Ground truth: would adding (a, b) to `edges` close a cycle? Checked by a
 // DFS for a path b -> a.
 bool would_cycle(const std::map<std::pair<std::size_t, std::size_t>, int>& edges,
@@ -145,6 +161,16 @@ TEST_P(IncrementalGraphRandom, AgreesWithFromScratchCycleCheck) {
           ASSERT_LT(g.order_index(e.first), g.order_index(e.second));
         }
       }
+      // The order-pruned reachability query must agree with a from-scratch
+      // DFS: would_cycle(edges, n, a, b) searches from b for a, i.e. it
+      // decides "path b -> a exists", which is reaches(b, a) for b != a.
+      for (int probe = 0; probe < 16; ++probe) {
+        const std::size_t a = rng.next() % kNodes;
+        const std::size_t b = rng.next() % kNodes;
+        const bool expect = a == b || would_cycle(reference, kNodes, a, b);
+        ASSERT_EQ(g.reaches(b, a), expect)
+            << "step " << step << " reaches " << b << "->" << a;
+      }
     }
   }
 }
@@ -153,4 +179,4 @@ INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalGraphRandom,
                          ::testing::Values(1ull, 7ull, 42ull, 2026ull));
 
 }  // namespace
-}  // namespace duo::monitor
+}  // namespace duo::util

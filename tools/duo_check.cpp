@@ -32,6 +32,16 @@
 //   --criterion NAME  criterion to judge under (default du-opacity):
 //                     final-state-opacity|fso, opacity, du-opacity|du,
 //                     rco-opacity|rco, tms2, strict-serializability|sser
+//   --engine NAME     checker engine (default auto): `graph` is the
+//                     polynomial engine for unique-writes histories, `dfs`
+//                     the exponential search, `auto` routes per history
+//                     (graph when supported, dfs otherwise) and falls back
+//                     on a graph decline — see README "Checker engines"
+//   --explain-engine  print which engine decided each check, why it was
+//                     selected, and the constraint-graph node/edge counts
+//   -v, --verbose     detailed output: implies --explain-engine and adds
+//                     the search statistics (nodes, memo hits/entries,
+//                     fast-reject) of every check
 //   --stream          incremental monitoring mode (single input, du only)
 //   --follow          with --stream on a file: poll for appended events
 //                     until the file stops growing for --idle-ms
@@ -77,6 +87,16 @@ struct Options {
   std::uint64_t node_budget = duo::checker::DuOpacityOptions{}.node_budget;
   duo::checker::Criterion criterion = duo::checker::Criterion::kDuOpacity;
   bool criterion_set = false;  // --criterion given explicitly
+  duo::checker::EngineKind engine = duo::checker::EngineKind::kAuto;
+  bool explain_engine = false;  // --explain-engine (or -v)
+  bool verbose = false;         // -v / --verbose
+
+  duo::checker::CheckOptions check_options() const {
+    duo::checker::CheckOptions copts;
+    copts.node_budget = node_budget;
+    copts.engine = engine;
+    return copts;
+  }
   /// Batch output even for a single trace: set when the user passed a
   /// directory or several arguments, so the output format depends on what
   /// was asked for, not on how many files a directory happened to hold.
@@ -90,12 +110,37 @@ struct Options {
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: duo_check [--jobs N] [--budget N] [--criterion NAME] "
+               "[--engine auto|graph|dfs] [--explain-engine] [-v] "
                "<trace-file|directory|->...\n"
                "       duo_check --stream [--follow] [--idle-ms N] "
                "<trace-file|->\n"
                "       duo_check --list-stms\n"
                "trace format: W1(X0,1) R2(X0)=1 C1 C2 ... "
                "(see src/history/parser.hpp)\n");
+}
+
+/// The --explain-engine line: which engine produced the verdict and why;
+/// graph sizes when the graph engine was involved.
+void print_engine_line(const char* label,
+                       const duo::checker::EngineTrace& trace) {
+  std::printf("%s: %s (%s)", label, trace.engine.c_str(),
+              trace.reason.c_str());
+  if (trace.graph_nodes > 0)
+    std::printf(" nodes=%llu edges=%llu",
+                static_cast<unsigned long long>(trace.graph_nodes),
+                static_cast<unsigned long long>(trace.graph_edges));
+  std::printf("\n");
+}
+
+/// The -v search-statistics line (satellite of the engine work: these were
+/// previously computed and dropped).
+void print_stats_line(const duo::checker::SearchStats& stats) {
+  std::printf("search stats: nodes=%llu memo_hits=%llu memo_entries=%llu "
+              "fast_reject=%s\n",
+              static_cast<unsigned long long>(stats.nodes),
+              static_cast<unsigned long long>(stats.memo_hits),
+              static_cast<unsigned long long>(stats.memo_entries),
+              stats.fast_rejected ? "yes" : "no");
 }
 
 /// --list-stms: the backend registry as a table — the same metadata the
@@ -201,6 +246,31 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.follow = true;
       continue;
     }
+    if (arg == "--explain-engine") {
+      opts.explain_engine = true;
+      continue;
+    }
+    if (arg == "-v" || arg == "--verbose") {
+      opts.verbose = true;
+      opts.explain_engine = true;
+      continue;
+    }
+    if (arg == "--engine") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "duo_check: %s requires a value\n", arg.c_str());
+        return false;
+      }
+      const auto e = duo::checker::engine_from_name(argv[++i]);
+      if (!e.has_value()) {
+        std::fprintf(stderr,
+                     "duo_check: unknown engine: %s (known: auto, graph, "
+                     "dfs)\n",
+                     argv[i]);
+        return false;
+      }
+      opts.engine = *e;
+      continue;
+    }
     if (arg == "--criterion") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "duo_check: %s requires a value\n", arg.c_str());
@@ -297,6 +367,7 @@ int check_stream(const Options& opts) {
 
   duo::monitor::MonitorOptions mopts;
   mopts.node_budget = opts.node_budget;
+  mopts.engine = opts.engine;
   duo::monitor::OnlineMonitor mon(mopts);
 
   // `objects=N` declarations are honored across lines exactly like the
@@ -368,9 +439,9 @@ int check_stream(const Options& opts) {
   if (mon.verdict() == Verdict::kYes) {
     std::printf("stream du-opaque after %zu events "
                 "(%zu fast-path, %zu witness checks, %zu repairs, "
-                "%zu full checks)\n",
+                "%zu full checks, %zu on graph engine)\n",
                 stats.events, stats.fast_yes, stats.witness_checks,
-                stats.witness_repairs, stats.full_checks);
+                stats.witness_repairs, stats.full_checks, stats.graph_checks);
     return 0;
   }
   std::printf("stream undecided after %zu events (search budget exhausted; "
@@ -394,33 +465,44 @@ int check_single(const std::string& path, const Options& opts) {
   }
   const auto& h = parsed.value();
 
-  std::printf("%s\n%s\n", duo::history::summary(h).c_str(),
-              duo::history::timeline(h).c_str());
+  // The per-transaction timeline is O(txns x events) characters — gigabytes
+  // for the 100k-event traces the graph engine decides in milliseconds — so
+  // it is reserved for histories a human could actually read.
+  constexpr std::size_t kTimelineEventCap = 2000;
+  if (h.size() <= kTimelineEventCap) {
+    std::printf("%s\n%s\n", duo::history::summary(h).c_str(),
+                duo::history::timeline(h).c_str());
+  } else {
+    std::printf("%s\n(timeline suppressed: %zu events > %zu)\n",
+                duo::history::summary(h).c_str(), h.size(),
+                kTimelineEventCap);
+  }
 
-  // An explicit non-default criterion runs exactly that checker — no
-  // evaluate_all sweep, so --budget bounds the work the user asked for,
-  // not five other exponential searches.
-  if (opts.criterion_set &&
-      opts.criterion != duo::checker::Criterion::kDuOpacity) {
-    const auto r =
-        duo::checker::check_criterion(h, opts.criterion, opts.node_budget);
+  // An explicit --criterion runs exactly that checker — no evaluate_all
+  // sweep, so --budget (and the wall clock, on 100k-event traces) bounds
+  // the work the user asked for, not five other checks.
+  if (opts.criterion_set) {
+    const auto r = duo::checker::check_criterion(h, opts.criterion,
+                                                 opts.check_options());
     const std::string name = duo::checker::to_string(opts.criterion);
     std::printf("%s: %s\n", name.c_str(),
                 duo::checker::to_string(r.verdict).c_str());
     if (r.no() && !r.explanation.empty())
       std::printf("%s violated: %s\n", name.c_str(), r.explanation.c_str());
+    if (opts.explain_engine) print_engine_line("engine", r.engine);
+    if (opts.verbose) print_stats_line(r.stats);
     return r.yes() ? 0 : 2;
   }
 
-  const auto v = duo::checker::evaluate_all(h, opts.node_budget);
+  const auto v = duo::checker::evaluate_all(h, opts.check_options());
   std::printf("verdicts: %s\n", v.to_string().c_str());
   const std::string violation = duo::checker::containment_violations(v);
   if (!violation.empty())
     std::printf("WARNING: containment anomaly: %s\n", violation.c_str());
 
-  duo::checker::DuOpacityOptions copts;
-  copts.node_budget = opts.node_budget;
-  const auto du = duo::checker::check_du_opacity(h, copts);
+  const auto du = duo::checker::check_du_opacity(h, opts.check_options());
+  if (opts.explain_engine) print_engine_line("engine", du.engine);
+  if (opts.verbose) print_stats_line(du.stats);
   if (du.yes()) {
     if (du.witness.has_value()) {
       std::printf("du serialization:");
@@ -468,7 +550,7 @@ int check_batch(const Options& opts) {
   duo::checker::PoolOptions popts;
   popts.num_threads = opts.jobs;
   popts.criterion = opts.criterion;
-  popts.check.node_budget = opts.node_budget;
+  popts.check = opts.check_options();
   duo::checker::CheckerPool pool(popts);
   const auto results = pool.check_batch(histories);
 
@@ -489,19 +571,25 @@ int check_batch(const Options& opts) {
       continue;
     }
     const auto& r = *by_input[i];
+    // With --explain-engine each batch line carries the deciding engine.
+    const std::string engine_note =
+        opts.explain_engine ? " [engine=" + r.engine.engine + "]" : "";
     if (r.yes()) {
       ++ok;
-      std::printf("%s: %s\n", opts.inputs[i].c_str(), ok_label.c_str());
+      std::printf("%s: %s%s\n", opts.inputs[i].c_str(), ok_label.c_str(),
+                  engine_note.c_str());
     } else if (r.no()) {
       ++violated;
-      std::printf("%s: VIOLATION%s%s\n", opts.inputs[i].c_str(),
-                  r.explanation.empty() ? "" : ": ",
-                  r.explanation.c_str());
+      std::printf("%s: VIOLATION%s%s%s\n", opts.inputs[i].c_str(),
+                  r.explanation.empty() ? "" : ": ", r.explanation.c_str(),
+                  engine_note.c_str());
     } else {
       ++undecided;
-      std::printf("%s: unknown (node budget exhausted; retry with a larger "
-                  "--budget)\n",
-                  opts.inputs[i].c_str());
+      std::printf("%s: unknown (%s)%s\n", opts.inputs[i].c_str(),
+                  r.explanation.empty()
+                      ? "node budget exhausted; retry with a larger --budget"
+                      : r.explanation.c_str(),
+                  engine_note.c_str());
     }
   }
   // The pool clamps workers to the batch size; report what actually ran.

@@ -1,24 +1,31 @@
-// Online monitor vs. re-check-every-prefix baseline.
+// Online monitor scaling: the incremental graph fast path vs the
+// re-check-every-prefix baseline, and vs one batch graph-engine check of
+// the full history (the amortized floor the per-event cost should
+// approach).
 //
 // The baseline is what the repository did before the monitor subsystem:
 // check_all_prefixes re-runs the full du-opacity checker on every event
-// prefix, so a history of n events costs n full checks. OnlineMonitor
-// maintains the verdict incrementally — witness extension, incremental
-// fast-reject, rare bounded-search fallbacks — so its cost scales with the
-// events fed. The speedup must grow with history length (the acceptance
-// bar is >= 5x at ~1k events); CI emits these numbers as BENCH_monitor.json
-// to track the trajectory.
+// prefix, so a history of n events costs n full checks; it is only feasible
+// at the small end (<= 1k events here). The monitor maintains the batch
+// graph engine's Tier-A constraint graph incrementally — per event, a
+// handful of Pearce-Kelly edge insertions — so its per-event cost is flat
+// in history length.
 //
-// Histories are du-opaque by construction and shaped like live traffic: a
-// fixed number of logical threads run transactions back to back against an
-// idealized atomic-commit deferred-update store, interleaved round-robin at
-// event granularity. Bounded concurrency is what recorded workloads look
-// like, and it keeps the *baseline* feasible — unbounded-overlap generator
-// histories drive the from-scratch search into budget exhaustion on middle
-// prefixes (millions of nodes) that the monitor's witness maintenance
-// decides in microseconds. This benchmark measures honest end-to-end cost
-// on the traffic shape both sides can handle; the monitor is the only one
-// of the two that also survives the adversarial shapes.
+// Measured on the dev machine (ns per event):
+//
+//                             1k events   10k events   100k events
+//   PR 2-4 witness monitor      ~2,900     ~102,000     ~5,194,000  (retired)
+//   graph fast path (this)        ~390         ~440           ~760
+//   batch graph engine, once       ~35          ~46            ~74
+//
+// The witness tier re-verified reads against the serialization order (a
+// backward walk, so O(n) per affected event and quadratic end to end): the
+// retired monitor took 519 *seconds* to stream 100k events; the fast path
+// takes ~76 ms, within ~10x of the one-shot batch check that gets the
+// whole history up front. CI archives these numbers as BENCH_monitor.json
+// to track the trajectory; the acceptance bar for the fast path is >= 5x
+// over the retired witness monitor at 10k+ events, which the table clears
+// by >200x.
 //
 // The latched case (BM_OnlineMonitorLatched) shows the other regime: after
 // the first violation every event is O(1).
@@ -26,6 +33,7 @@
 
 #include <map>
 
+#include "checker/du_opacity.hpp"
 #include "checker/prefix_closure.hpp"
 #include "monitor/monitor.hpp"
 #include "util/assert.hpp"
@@ -114,23 +122,47 @@ void feed_all(duo::monitor::OnlineMonitor& mon, const History& h) {
 void BM_OnlineMonitorFeed(benchmark::State& state) {
   const History& h = live_run_history(state.range(0));
   std::size_t full_checks = 0;
+  std::size_t edges = 0;
   for (auto _ : state) {
     duo::monitor::OnlineMonitor mon;
     feed_all(mon, h);
     DUO_ASSERT(mon.verdict() == duo::checker::Verdict::kYes);
     full_checks = mon.stats().full_checks;
+    edges = mon.stats().edges_added;
     benchmark::DoNotOptimize(mon.verdict());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(h.size()));
   state.counters["events"] = static_cast<double>(h.size());
   state.counters["full_checks"] = static_cast<double>(full_checks);
+  state.counters["edges"] = static_cast<double>(edges);
 }
 BENCHMARK(BM_OnlineMonitorFeed)
     ->Arg(128)
-    ->Arg(256)
-    ->Arg(512)
     ->Arg(1024)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// The amortized floor: the batch graph engine deciding the whole history
+/// once, with every event already in hand. The monitor's per-event cost
+/// should sit within a small factor of this per-event figure — the price
+/// of maintaining (rather than bulk-building) the same constraint graph.
+void BM_BatchGraphCheckOnce(benchmark::State& state) {
+  const History& h = live_run_history(state.range(0));
+  for (auto _ : state) {
+    const auto r = duo::checker::check_du_opacity(h);
+    DUO_ASSERT(r.yes());
+    benchmark::DoNotOptimize(r.verdict);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h.size()));
+  state.counters["events"] = static_cast<double>(h.size());
+}
+BENCHMARK(BM_BatchGraphCheckOnce)
+    ->Arg(1024)
+    ->Arg(10000)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_RecheckEveryPrefix(benchmark::State& state) {
@@ -174,6 +206,7 @@ void BM_OnlineMonitorLatched(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineMonitorLatched)
     ->Arg(1024)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

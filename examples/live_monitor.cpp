@@ -56,32 +56,38 @@ int main(int argc, char** argv) {
 
   const auto h = recorder.finish(stm->num_objects());
   std::printf("recorded %s\n", history::summary(h).c_str());
-  if (recorder.overflowed())
-    std::printf("NOTE: recorder overflowed; the verdict covers only the "
-                "first %zu events.\n",
-                recorder.capacity());
 
   const auto& stats = mon.stats();
-  std::printf("monitored %zu events: %zu fast-path, %zu witness checks, "
-              "%zu repairs, %zu full checks\n\n",
-              stats.events, stats.fast_yes, stats.witness_checks,
-              stats.witness_repairs, stats.full_checks);
+  std::printf("monitored %zu events: %zu fast-path, %zu full checks; "
+              "%zu graph edges added, %zu removed, %zu chain splices\n\n",
+              stats.events, stats.fast_yes, stats.full_checks,
+              stats.edges_added, stats.edges_removed, stats.chain_splices);
 
-  switch (mon.verdict()) {
+  // tap.qualified_verdict() downgrades a clean "yes" on an overflowed
+  // recorder to kUnknown: the dropped tail was never checked. A latched
+  // "no" stays sound either way (prefix closure).
+  switch (tap.qualified_verdict()) {
     case checker::Verdict::kYes:
       std::printf("all %zu prefixes du-opaque: the execution conforms to "
                   "the deferred-update semantics.\n",
                   mon.events_fed());
       return 0;
     case checker::Verdict::kNo: {
+      // first_violation() is a 0-based index into the fed events.
       const std::size_t at = *mon.first_violation();
       std::printf("first du-opacity violation at event %zu:\n    %s\n",
-                  at, history::to_string(h.events()[at - 1]).c_str());
+                  at + 1, history::to_string(h.events()[at]).c_str());
       std::printf("\nviolation explanation: %s\n", mon.explanation().c_str());
       return 2;
     }
     case checker::Verdict::kUnknown:
-      std::printf("undecided within the search budget.\n");
+      if (tap.overflowed())
+        std::printf("inconclusive: the recorder overflowed after %zu "
+                    "events, so the clean verdict covers only the recorded "
+                    "prefix.\n",
+                    recorder.capacity());
+      else
+        std::printf("undecided within the search budget.\n");
       return 2;
   }
   return 0;

@@ -114,4 +114,23 @@ CheckResult check_with_engine(const history::History& h, Criterion c,
   return result;
 }
 
+std::optional<std::size_t> first_bad_prefix(const history::History& h,
+                                            Criterion c,
+                                            const CheckOptions& opts) {
+  if (h.size() == 0 || !check_with_engine(h, c, opts).no())
+    return std::nullopt;
+  // Invariant: the prefix of length hi is rejected (prefix closure then
+  // rejects every longer one), every probe of length < lo was not.
+  std::size_t lo = 1;
+  std::size_t hi = h.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (check_with_engine(h.prefix(mid), c, opts).no())
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return hi - 1;  // the 0-based index of the prefix's last event
+}
+
 }  // namespace duo::checker

@@ -67,4 +67,20 @@ EngineChoice select_engine(const history::History& h, Criterion c,
 CheckResult check_with_engine(const history::History& h, Criterion c,
                               const CheckOptions& opts);
 
+/// Shortest rejected prefix of `h` under `c`, as the 0-based index of the
+/// event whose arrival first makes the verdict kNo — the same convention as
+/// monitor::OnlineMonitor::first_violation(). nullopt when the full history
+/// is not rejected.
+///
+/// Sound only for prefix-closed criteria (du-opacity per the paper's
+/// Corollary 2, opacity by definition): prefix closure makes the per-length
+/// verdict sequence monotone (kYes* then kNo*), so the index is found by
+/// binary search — O(log n) engine-routed checks, which on unique-writes
+/// histories means graph-engine speed end to end. An undecided probe
+/// (budget exhaustion on a DFS-routed prefix) is treated as not-rejected,
+/// so under budget pressure the result is the first *provably* bad prefix.
+std::optional<std::size_t> first_bad_prefix(const history::History& h,
+                                            Criterion c,
+                                            const CheckOptions& opts = {});
+
 }  // namespace duo::checker

@@ -475,6 +475,7 @@ class GraphChecker {
     }
 
     util::IncrementalGraph g;
+    g.reserve(num_nodes);
     for (std::size_t i = 0; i < num_nodes; ++i) g.add_node();
     for (const auto& [a, b] : base_edges_)
       if (!g.add_edge(a, b)) return necessary_cycle(std::move(out));

@@ -56,6 +56,14 @@
 // read-commit-order map directly; strict serializability runs on the
 // committed projection; opacity routes through du-opacity via the paper's
 // Theorem 11 (Opacity_ut = DU-Opacity under unique writes).
+//
+// The online monitor (monitor/monitor.hpp) maintains this engine's Tier-A
+// edge set *incrementally* as its streaming fast path — the two must stay
+// in lockstep edge-for-edge (real-time sparsification, reads-from,
+// version chains from the canonical install key, anti-dependency skip
+// rule, initial-read edges), which tests/monitor_test.cpp enforces by
+// per-prefix verdict equality. Change the Tier-A derivation here and the
+// monitor's maintenance rules must follow.
 #pragma once
 
 #include "checker/engine.hpp"

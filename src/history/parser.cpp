@@ -70,6 +70,10 @@ util::Result<ParsedEvents> parse_events(std::string_view text) {
   }
 
   for (const std::string& tok : tokens) {
+    if (tok == "truncated") {
+      out.truncated = true;
+      continue;
+    }
     if (util::starts_with(tok, "objects=")) {
       Cursor c{tok, 8};
       long long n = 0;

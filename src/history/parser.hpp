@@ -20,6 +20,12 @@
 //   An optional leading token `objects=N` fixes the object count; otherwise
 //   it is inferred as (max object id) + 1.
 //
+//   An optional token `truncated` marks the trace as a truncated prefix of
+//   a longer run — the convention writers use when serializing an
+//   overflowed stm::Recorder. The events still parse normally; consumers
+//   (duo_check) surface any would-be "yes" as inconclusive, since the
+//   dropped tail was never checked (a "no" stays sound by prefix closure).
+//
 // Paper Figure 3 in this syntax: "W1(X0,1) R2(X0)=1 C1 C2".
 #pragma once
 
@@ -41,6 +47,8 @@ struct ParsedEvents {
   std::vector<Event> events;
   ObjId max_obj = -1;
   ObjId declared_objects = -1;
+  /// A `truncated` token appeared: the trace is a prefix of a longer run.
+  bool truncated = false;
 };
 
 util::Result<ParsedEvents> parse_events(std::string_view text);

@@ -13,12 +13,12 @@ using history::OpKind;
 
 OnlineMonitor::OnlineMonitor(const MonitorOptions& opts) : opts_(opts) {
   num_objects_ = std::max<ObjId>(opts_.num_objects, 0);
-  committed_writers_by_obj_.resize(static_cast<std::size_t>(num_objects_));
-  reads_by_obj_.resize(static_cast<std::size_t>(num_objects_));
 }
 
 // ---------------------------------------------------------------------------
-// Validation (mirrors History::make, but one event at a time)
+// Validation (mirrors History::make, but one event at a time). Diagnostics
+// are human-readable text, so events are numbered from 1 here; the
+// machine-facing first_violation() index is 0-based (see monitor.hpp).
 
 std::string OnlineMonitor::validate(const Event& e) const {
   std::ostringstream msg;
@@ -61,31 +61,20 @@ std::size_t OnlineMonitor::txn_index(TxnId id) {
   const std::size_t k = txns_.size();
   txns_.emplace_back();
   txns_[k].id = id;
+  txns_[k].node = graph_.add_node();
   tix_of_.emplace(id, k);
-  const std::size_t node = graph_.add_node();
-  DUO_ASSERT(node == k);
-  // Keep the witness arrays aligned with tix space even while no witness is
-  // held; a later fallback adoption overwrites them wholesale.
-  wpos_.push_back(worder_.size());
-  worder_.push_back(k);
-  wcommitted_.push_back(false);
   return k;
 }
 
 // ---------------------------------------------------------------------------
 // Helpers
 
-void OnlineMonitor::latch(std::string reason, bool by_fast_reject) {
+void OnlineMonitor::latch(std::string reason, bool by_fast_path) {
+  DUO_ASSERT(!events_.empty());
   verdict_ = Verdict::kNo;
-  stats_.latched_by_fast_reject = by_fast_reject;
-  first_violation_ = events_.size();
+  stats_.latched_by_fast_path = by_fast_path;
+  first_violation_ = events_.size() - 1;  // 0-based: the current event
   explanation_ = std::move(reason);
-  have_witness_ = false;
-}
-
-void OnlineMonitor::add_graph_edge(std::size_t a, std::size_t b) {
-  if (!graph_.add_edge(a, b))
-    latch("necessary serialization edges form a cycle");
 }
 
 std::optional<Value> OnlineMonitor::final_write_value(std::size_t tix,
@@ -95,11 +84,6 @@ std::optional<Value> OnlineMonitor::final_write_value(std::size_t tix,
   return std::nullopt;
 }
 
-bool OnlineMonitor::can_commit(std::size_t tix) const {
-  const TxnStatus s = txns_[tix].status;
-  return s == TxnStatus::kCommitted || s == TxnStatus::kCommitPending;
-}
-
 std::string OnlineMonitor::read_desc(const Read& r) const {
   std::ostringstream out;
   out << "read" << txns_[r.reader].id << "(X" << r.obj << ")=" << r.value;
@@ -107,80 +91,273 @@ std::string OnlineMonitor::read_desc(const Read& r) const {
 }
 
 // ---------------------------------------------------------------------------
-// Constraint maintenance. The invariants mirror checker/fast_reject.cpp:
-// for every external value-returning read r of (X, v) by T_k,
-//   - cands(r)  = can-commit transactions (committed or commit-pending)
-//                 whose final write to X is v, excluding T_k;
-//   - non-initial v with cands empty                 -> no serialization;
-//   - non-initial v with no cand's tryC before resp  -> du violation;
-//   - non-initial v with a unique cand w             -> edge w -> T_k;
-//   - initial v with cands empty                     -> edge T_k -> m for
-//     every committed m whose final write to X is a different value.
-// All other constraint sources (real-time order) are monotone and handled
-// at transaction creation. Edges are released when their rule lapses, so
-// the graph holds exactly the current prefix's necessary edges; every
-// intermediate graph during one feed() is a subset of the new prefix's
-// edge set, which keeps a mid-update cycle a sound rejection.
+// Edge bookkeeping. Every edge the maintained Tier-A constraint graph wants
+// goes through link/unlink, so the graph's edge multiset equals the desired
+// multiset exactly — except for edges parked in pending_ because inserting
+// them would have closed a cycle. pending_ non-empty suspends the fast path
+// (the graph then under-approximates the constraints); removals re-try the
+// parked edges, and the fast path resumes when the set drains.
 
-void OnlineMonitor::refresh_read_constraints(Read& r) {
-  if (!r.is_initial) {
-    if (r.cands.empty()) {
-      latch(read_desc(r) +
-            ": no transaction that can commit writes this value");
-      return;
-    }
-    if (r.local_count == 0) {
-      latch(read_desc(r) +
-            ": no candidate writer invoked tryC before the read's response "
-            "(deferred-update violation)");
-      return;
-    }
-    const std::optional<std::size_t> want =
-        r.cands.size() == 1 ? std::optional<std::size_t>(r.cands.front())
-                            : std::nullopt;
-    if (r.unique_edge != want) {
-      if (r.unique_edge.has_value())
-        graph_.remove_edge(*r.unique_edge, r.reader);
-      r.unique_edge = want;
-      if (want.has_value()) add_graph_edge(*want, r.reader);
+void OnlineMonitor::link(std::size_t a, std::size_t b) {
+  DUO_ASSERT(a != b);
+  if (graph_.add_edge(a, b)) {
+    ++stats_.edges_added;
+    const auto it = pending_.find({a, b});
+    if (it != pending_.end()) {
+      // Identical parked references ride along: once one (a, b) edge is in,
+      // further references only bump its refcount.
+      for (std::uint32_t i = 0; i < it->second; ++i) {
+        const bool ok = graph_.add_edge(a, b);
+        DUO_ASSERT(ok);
+        ++stats_.edges_added;
+      }
+      pending_.erase(it);
     }
     return;
   }
-  // Initial-value read.
-  if (!r.cands.empty()) {
-    for (const std::size_t m : r.initial_edges)
-      graph_.remove_edge(r.reader, m);
-    r.initial_edges.clear();
+  ++pending_[{a, b}];
+  ++stats_.deferred_edges;
+}
+
+void OnlineMonitor::unlink(std::size_t a, std::size_t b) {
+  const auto it = pending_.find({a, b});
+  if (it != pending_.end()) {
+    if (--it->second == 0) pending_.erase(it);
     return;
   }
-  // The committed set only grows and commit freezes a write set, so the
-  // desired target set only grows: add the missing edges.
-  for (const std::size_t m :
-       committed_writers_by_obj_[static_cast<std::size_t>(r.obj)]) {
-    if (m == r.reader) continue;
-    const auto fv = final_write_value(m, r.obj);
-    DUO_ASSERT(fv.has_value());
-    if (*fv == r.value) continue;
-    if (std::find(r.initial_edges.begin(), r.initial_edges.end(), m) !=
-        r.initial_edges.end())
-      continue;
-    r.initial_edges.push_back(m);
-    add_graph_edge(r.reader, m);
-    if (latched()) return;
+  graph_.remove_edge(a, b);
+  ++stats_.edges_removed;
+  removed_this_feed_ = true;
+}
+
+void OnlineMonitor::retry_pending() {
+  bool progress = true;
+  while (progress && !pending_.empty()) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      const auto [a, b] = it->first;
+      if (!graph_.add_edge(a, b)) {
+        ++it;
+        continue;
+      }
+      ++stats_.edges_added;
+      for (std::uint32_t i = 1; i < it->second; ++i) {
+        const bool ok = graph_.add_edge(a, b);
+        DUO_ASSERT(ok);
+        ++stats_.edges_added;
+      }
+      it = pending_.erase(it);
+      progress = true;
+    }
   }
 }
 
-void OnlineMonitor::on_new_transaction(std::size_t tix) {
-  // Real-time edges: a ≺RT b iff a is t-complete and ends before b begins.
-  // b's first event is the latest event, so its ≺RT predecessors are
-  // exactly the currently t-complete transactions — and no pair among
-  // existing transactions ever becomes real-time-ordered later (a
-  // transaction's t-completing response is its last event). Edges into a
-  // fresh sink cannot close a cycle.
-  for (const std::size_t a : t_complete_) {
-    const bool ok = graph_.add_edge(a, tix);
-    DUO_ASSERT(ok);
+// ---------------------------------------------------------------------------
+// Version chains (canonical install order, exactly the batch engine's
+// Tier A). A chain holds the must-commit writers of one object — committed
+// transactions plus commit-pending writers somebody currently reads from —
+// sorted by install key. Insertions land mid-chain only when a
+// commit-pending writer gains its first reader after later writers already
+// entered; commits move a member to the end (its key becomes the tryC
+// response index, the maximum so far). Each splice fixes the consecutive-
+// writer edges, the anti-dependency targets of reads whose successor the
+// splice may have changed (only writers within two positions of the splice
+// point can be affected, since the skip rule looks one past the immediate
+// successor), and the initial-read membership edges.
+
+std::size_t OnlineMonitor::chain_pos(const ObjState& s, std::size_t tix) const {
+  const std::uint64_t key = txns_[tix].install_key;
+  const auto it = std::lower_bound(
+      s.chain.begin(), s.chain.end(), key,
+      [this](std::size_t t, std::uint64_t k) {
+        return txns_[t].install_key < k;
+      });
+  DUO_ASSERT(it != s.chain.end() && *it == tix);
+  return static_cast<std::size_t>(it - s.chain.begin());
+}
+
+std::size_t OnlineMonitor::succ_with_skip(const ObjState& s, std::size_t wpos,
+                                          std::size_t reader) const {
+  std::size_t succ = wpos + 1;
+  if (succ < s.chain.size() && s.chain[succ] == reader) ++succ;
+  return succ < s.chain.size() ? s.chain[succ] : kNone;
+}
+
+void OnlineMonitor::retarget_read(std::size_t rid) {
+  Read& r = reads_[rid];
+  DUO_ASSERT(r.writer != kNone);
+  const ObjState& s = objs_.at(r.obj);
+  const std::size_t target =
+      succ_with_skip(s, chain_pos(s, r.writer), r.reader);
+  if (target == r.antidep) return;
+  if (r.antidep != kNone)
+    unlink(txns_[r.reader].node, txns_[r.antidep].node);
+  r.antidep = target;
+  if (target != kNone) link(txns_[r.reader].node, txns_[target].node);
+}
+
+void OnlineMonitor::retarget_around(ObjId x, std::size_t pos) {
+  const ObjState& s = objs_.at(x);
+  for (std::size_t back = 0; back < 3; ++back) {
+    if (pos < back) break;
+    const std::size_t q = pos - back;
+    if (q >= s.chain.size()) continue;  // pos may point one past the end
+    // Snapshot: retargeting edits other reads' state, never this list's
+    // membership (rf_reads of chain[q] changes only on resolve/unresolve).
+    for (const std::size_t rid : txns_[s.chain[q]].rf_reads)
+      if (reads_[rid].obj == x) retarget_read(rid);
   }
+}
+
+void OnlineMonitor::chain_insert(ObjId x, std::size_t tix) {
+  ObjState& s = obj_state(x);
+  auto& chain = s.chain;
+  const std::uint64_t key = txns_[tix].install_key;
+  const auto it = std::lower_bound(
+      chain.begin(), chain.end(), key,
+      [this](std::size_t t, std::uint64_t k) {
+        return txns_[t].install_key < k;
+      });
+  const auto pos = static_cast<std::size_t>(it - chain.begin());
+  const std::size_t pred = pos > 0 ? chain[pos - 1] : kNone;
+  const std::size_t succ = pos < chain.size() ? chain[pos] : kNone;
+  if (succ != kNone) ++stats_.chain_splices;
+  if (pred != kNone && succ != kNone)
+    unlink(txns_[pred].node, txns_[succ].node);
+  if (pred != kNone) link(txns_[pred].node, txns_[tix].node);
+  if (succ != kNone) link(txns_[tix].node, txns_[succ].node);
+  chain.insert(it, tix);
+  retarget_around(x, pos);
+  for (const std::size_t rid : s.initial_reads) {
+    const std::size_t reader = reads_[rid].reader;
+    if (reader != tix) link(txns_[reader].node, txns_[tix].node);
+  }
+}
+
+void OnlineMonitor::chain_remove(ObjId x, std::size_t tix) {
+  ObjState& s = obj_state(x);
+  auto& chain = s.chain;
+  const std::size_t pos = chain_pos(s, tix);
+  ++stats_.chain_splices;
+  const std::size_t pred = pos > 0 ? chain[pos - 1] : kNone;
+  const std::size_t succ = pos + 1 < chain.size() ? chain[pos + 1] : kNone;
+  if (pred != kNone) unlink(txns_[pred].node, txns_[tix].node);
+  if (succ != kNone) unlink(txns_[tix].node, txns_[succ].node);
+  if (pred != kNone && succ != kNone)
+    link(txns_[pred].node, txns_[succ].node);
+  chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(pos));
+  retarget_around(x, pos);
+  for (const std::size_t rid : s.initial_reads) {
+    const std::size_t reader = reads_[rid].reader;
+    if (reader != tix) unlink(txns_[reader].node, txns_[tix].node);
+  }
+}
+
+void OnlineMonitor::enter_chains(std::size_t tix) {
+  Txn& t = txns_[tix];
+  DUO_ASSERT(!t.in_chain);
+  t.in_chain = true;
+  for (const auto& [x, v] : t.final_writes) {
+    (void)v;
+    chain_insert(x, tix);
+  }
+}
+
+void OnlineMonitor::leave_chains(std::size_t tix) {
+  Txn& t = txns_[tix];
+  DUO_ASSERT(t.in_chain);
+  for (const auto& [x, v] : t.final_writes) {
+    (void)v;
+    chain_remove(x, tix);
+  }
+  t.in_chain = false;
+}
+
+// ---------------------------------------------------------------------------
+// Read resolution. Under unique writes an external non-initial read has at
+// most one candidate writer — the unique can-commit transaction whose final
+// write to the object is the value read — so reads-from is exact: resolving
+// adds the reads-from edge, pulls the writer into the chains (the forced
+// completion commits read-from writers), and adds the anti-dependency edge.
+// Two event-local rejections latch immediately, mirroring the batch
+// engine's fast rejects on the same prefix: no candidate at all, and no
+// candidate whose tryC invocation precedes the read's response (the paper's
+// Def. 3(3) deferred-update condition, collapsed to a timing predicate).
+
+void OnlineMonitor::resolve_read(std::size_t rid, std::size_t w) {
+  Read& r = reads_[rid];
+  DUO_ASSERT(r.writer == kNone);
+  r.writer = w;
+  Txn& wt = txns_[w];
+  if (!wt.in_chain) {
+    DUO_ASSERT(wt.tryc_inv.has_value());
+    wt.install_key = *wt.tryc_inv;  // commit-pending: install at tryC inv
+    enter_chains(w);
+  }
+  wt.rf_reads.push_back(rid);
+  link(wt.node, txns_[r.reader].node);
+  const ObjState& s = objs_.at(r.obj);
+  const std::size_t target =
+      succ_with_skip(s, chain_pos(s, w), r.reader);
+  if (target != kNone) {
+    r.antidep = target;
+    link(txns_[r.reader].node, txns_[target].node);
+  }
+}
+
+void OnlineMonitor::unresolve_read(std::size_t rid) {
+  Read& r = reads_[rid];
+  DUO_ASSERT(r.writer != kNone);
+  const std::size_t w = r.writer;
+  Txn& wt = txns_[w];
+  unlink(wt.node, txns_[r.reader].node);
+  if (r.antidep != kNone) {
+    unlink(txns_[r.reader].node, txns_[r.antidep].node);
+    r.antidep = kNone;
+  }
+  auto& rf = wt.rf_reads;
+  rf.erase(std::find(rf.begin(), rf.end(), rid));
+  r.writer = kNone;
+  if (rf.empty() && wt.status != TxnStatus::kCommitted && wt.in_chain)
+    leave_chains(w);
+}
+
+void OnlineMonitor::reject_or_resolve(std::size_t rid) {
+  Read& r = reads_[rid];
+  DUO_ASSERT(!r.is_initial);
+  if (r.cands.empty()) {
+    latch(read_desc(r) +
+          ": no transaction that can commit writes this value");
+    return;
+  }
+  if (r.local_count == 0) {
+    latch(read_desc(r) +
+          ": no candidate writer invoked tryC before the read's response "
+          "(deferred-update violation)");
+    return;
+  }
+  if (r.cands.size() == 1 && r.writer == kNone)
+    resolve_read(rid, r.cands.front());
+}
+
+// ---------------------------------------------------------------------------
+// Per-event constraint maintenance
+
+void OnlineMonitor::on_new_transaction(std::size_t tix) {
+  // Real-time order, sparsified: a ≺RT b iff a t-completes before b's first
+  // event. Each completion appends a fresh chain node c_i with edges
+  // completer -> c_i and c_{i-1} -> c_i; a new transaction gets one edge
+  // from the latest chain node, inheriting every earlier completion
+  // transitively. Edges into a fresh node can never close a cycle.
+  if (!completion_nodes_.empty())
+    link(completion_nodes_.back(), txns_[tix].node);
+}
+
+void OnlineMonitor::on_t_complete(std::size_t tix) {
+  const std::size_t c = graph_.add_node();
+  if (!completion_nodes_.empty()) link(completion_nodes_.back(), c);
+  link(txns_[tix].node, c);
+  completion_nodes_.push_back(c);
 }
 
 void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
@@ -206,10 +383,20 @@ void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
   r.value = v;
   r.resp_index = resp_index;
   r.is_initial = v == 0;  // initial values are 0 throughout
-  reads_of_[{x, v}].push_back(rid);
-  reads_by_obj_[static_cast<std::size_t>(x)].push_back(rid);
-  txns_[tix].ext_read_ids.push_back(rid);
 
+  if (r.is_initial) {
+    // Initial-value read: the reader precedes every (current and future)
+    // chain writer of the object. A can-commit writer of the initial value
+    // would put the prefix outside the unique-writes class; that case is
+    // carried by nonuw_ and decided by the fallback checks.
+    ObjState& s = obj_state(x);
+    s.initial_reads.push_back(rid);
+    for (const std::size_t m : s.chain)
+      if (m != tix) link(txns_[tix].node, txns_[m].node);
+    return;
+  }
+
+  reads_of_[{x, v}].push_back(rid);
   if (const auto it = writers_of_.find({x, v}); it != writers_of_.end()) {
     for (const std::size_t w : it->second) {
       if (w == tix) continue;
@@ -218,190 +405,89 @@ void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
       if (*txns_[w].tryc_inv < resp_index) ++r.local_count;
     }
   }
-  refresh_read_constraints(r);
-  if (latched()) return;
-
-  if (have_witness_) {
-    ++stats_.witness_checks;
-    if (!witness_verify_read(r)) {
-      // Common live pattern: a writer committed during the reader's
-      // lifetime and sits behind it in the order. The reader is still
-      // running — no real-time successors — so re-serializing it last is
-      // always order-valid; only its own reads need re-checking.
-      ++stats_.witness_repairs;
-      witness_move_to_end(tix);
-      if (!witness_verify_txn_reads(tix)) have_witness_ = false;
-    }
-  }
+  reject_or_resolve(rid);
 }
 
 void OnlineMonitor::on_tryc_invoked(std::size_t tix) {
   // The transaction becomes a can-commit candidate writer for every value
   // in its (now frozen) write set. Its tryC invocation is the latest
-  // event, so it never joins a read's *local* candidate set.
+  // event, so it never joins a read's *local* candidate set — but a second
+  // candidate makes the read ambiguous (and the prefix non-unique-writes),
+  // which unresolves the read and suspends the fast path via nonuw_.
   for (const auto& [x, v] : txns_[tix].final_writes) {
-    writers_of_[{x, v}].push_back(tix);
+    if (v == 0) ++nonuw_;
+    auto& ws = writers_of_[{x, v}];
+    ws.push_back(tix);
+    if (ws.size() == 2) ++nonuw_;
     const auto it = reads_of_.find({x, v});
     if (it == reads_of_.end()) continue;
     for (const std::size_t rid : it->second) {
       Read& r = reads_[rid];
       if (r.reader == tix) continue;
       r.cands.push_back(tix);
-      refresh_read_constraints(r);
-      if (latched()) return;
+      if (r.writer != kNone && r.cands.size() >= 2) unresolve_read(rid);
     }
   }
 }
 
-void OnlineMonitor::on_committed(std::size_t tix) {
-  for (const auto& [x, v] : txns_[tix].final_writes) {
-    (void)v;
-    committed_writers_by_obj_[static_cast<std::size_t>(x)].push_back(tix);
-    // Initial-value reads of X with no candidate writer must now be
-    // ordered before this committed writer (if it writes a different
-    // value); reads with candidates are unconstrained.
-    const auto it = reads_of_.find({x, Value{0}});
-    if (it == reads_of_.end()) continue;
-    for (const std::size_t rid : it->second) {
-      Read& r = reads_[rid];
-      if (r.reader == tix || !r.cands.empty()) continue;
-      refresh_read_constraints(r);
-      if (latched()) return;
-    }
-  }
-  if (have_witness_ && !wcommitted_[tix]) {
-    if (!witness_flip(tix, true)) have_witness_ = false;
-  }
+void OnlineMonitor::on_committed(std::size_t tix, std::size_t resp_index) {
+  // The install key becomes the tryC response index — the maximum so far —
+  // so a member already in the chains (it was read from while pending)
+  // moves to the end, and a fresh member appends. Both shapes are the
+  // no-op/append fast case for recorded runs, where the canonical order is
+  // the order the STM actually installed.
+  Txn& t = txns_[tix];
+  if (t.in_chain) leave_chains(tix);
+  t.install_key = resp_index;
+  enter_chains(tix);
 }
 
 void OnlineMonitor::on_aborted(std::size_t tix, bool was_commit_pending) {
-  if (was_commit_pending) {
-    for (const auto& [x, v] : txns_[tix].final_writes) {
-      auto& writers = writers_of_[{x, v}];
-      writers.erase(std::find(writers.begin(), writers.end(), tix));
-      const auto it = reads_of_.find({x, v});
-      if (it == reads_of_.end()) continue;
-      for (const std::size_t rid : it->second) {
-        Read& r = reads_[rid];
-        if (r.reader == tix) continue;
-        r.cands.erase(std::find(r.cands.begin(), r.cands.end(), tix));
-        DUO_ASSERT(txns_[tix].tryc_inv.has_value());
-        if (*txns_[tix].tryc_inv < r.resp_index) --r.local_count;
-        refresh_read_constraints(r);
-        if (latched()) return;
-      }
+  if (!was_commit_pending) return;
+  for (const auto& [x, v] : txns_[tix].final_writes) {
+    if (v == 0) --nonuw_;
+    auto& ws = writers_of_[{x, v}];
+    ws.erase(std::find(ws.begin(), ws.end(), tix));
+    if (ws.size() == 1) --nonuw_;
+    const auto it = reads_of_.find({x, v});
+    if (it == reads_of_.end()) continue;
+    for (const std::size_t rid : it->second) {
+      Read& r = reads_[rid];
+      if (r.reader == tix) continue;
+      if (r.writer == tix) unresolve_read(rid);
+      r.cands.erase(std::find(r.cands.begin(), r.cands.end(), tix));
+      DUO_ASSERT(txns_[tix].tryc_inv.has_value());
+      if (*txns_[tix].tryc_inv < r.resp_index) --r.local_count;
+      reject_or_resolve(rid);
+      if (latched()) return;
     }
   }
-  if (have_witness_ && wcommitted_[tix]) {
-    if (!witness_flip(tix, false)) have_witness_ = false;
-  }
+  // Every read resolved to this writer just lost its only candidate (and
+  // latched); without a latch the writer has no readers left and cannot be
+  // in any chain.
+  DUO_ASSERT(!txns_[tix].in_chain);
 }
 
 // ---------------------------------------------------------------------------
-// Witness maintenance
-
-bool OnlineMonitor::witness_flip(std::size_t tix, bool committed) {
-  ++stats_.witness_checks;
-  wcommitted_[tix] = committed;
-  // Flipping the completion bit changes the visibility of exactly this
-  // transaction's writes, which can only affect external reads of those
-  // objects serialized after it.
-  bool ok = true;
-  for (const auto& [x, v] : txns_[tix].final_writes) {
-    (void)v;
-    for (const std::size_t rid : reads_by_obj_[static_cast<std::size_t>(x)]) {
-      const Read& r = reads_[rid];
-      if (r.reader == tix) continue;
-      if (wpos_[r.reader] <= wpos_[tix]) continue;
-      if (!witness_verify_read(r)) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) break;
-  }
-  if (ok || !committed) return ok;
-  // Repair for the commit flip: the C response is the latest event, so the
-  // transaction has no real-time successors and may be re-serialized last,
-  // where its writes are visible to nobody. Earlier reads then revert to
-  // their previously-verified expectations; only this transaction's own
-  // reads (which now see every committed peer) need re-verification.
-  ++stats_.witness_repairs;
-  witness_move_to_end(tix);
-  return witness_verify_txn_reads(tix);
-}
-
-bool OnlineMonitor::witness_verify_txn_reads(std::size_t tix) const {
-  for (const std::size_t rid : txns_[tix].ext_read_ids)
-    if (!witness_verify_read(reads_[rid])) return false;
-  return true;
-}
-
-void OnlineMonitor::witness_move_to_end(std::size_t tix) {
-  const std::size_t from = wpos_[tix];
-  worder_.erase(worder_.begin() + static_cast<std::ptrdiff_t>(from));
-  worder_.push_back(tix);
-  for (std::size_t p = from; p < worder_.size(); ++p) wpos_[worder_[p]] = p;
-}
-
-bool OnlineMonitor::witness_verify_read(const Read& r) const {
-  // Global legality: the latest witness-committed writer of X serialized
-  // before the reader (else the initial value). Mirrors
-  // checker/legality.cpp's committed-writers walk.
-  Value expected = 0;
-  for (std::size_t p = wpos_[r.reader]; p-- > 0;) {
-    const std::size_t w = worder_[p];
-    if (!wcommitted_[w]) continue;
-    if (const auto fv = final_write_value(w, r.obj)) {
-      expected = *fv;
-      break;
-    }
-  }
-  if (expected != r.value) return false;
-
-  // Deferred-update local legality (Def. 3(3)): the latest such writer
-  // whose tryC invocation precedes the read's response.
-  Value local = 0;
-  for (std::size_t p = wpos_[r.reader]; p-- > 0;) {
-    const std::size_t w = worder_[p];
-    if (!wcommitted_[w]) continue;
-    const auto fv = final_write_value(w, r.obj);
-    if (!fv.has_value()) continue;
-    DUO_ASSERT(txns_[w].tryc_inv.has_value());
-    if (*txns_[w].tryc_inv < r.resp_index) {
-      local = *fv;
-      break;
-    }
-  }
-  return local == r.value;
-}
+// The fallback tier
 
 void OnlineMonitor::run_full_check() {
   ++stats_.full_checks;
   const History h = history();
-  checker::DuOpacityOptions copts;
+  checker::CheckOptions copts;
   copts.node_budget = opts_.node_budget;
   copts.engine = opts_.engine;
   const auto result = checker::check_du_opacity(h, copts);
   if (result.engine.engine == "graph") ++stats_.graph_checks;
   if (result.yes()) {
-    DUO_ASSERT(result.witness.has_value());
     verdict_ = Verdict::kYes;
-    have_witness_ = true;
-    worder_ = result.witness->order;
-    wpos_.assign(txns_.size(), 0);
-    for (std::size_t p = 0; p < worder_.size(); ++p) wpos_[worder_[p]] = p;
-    wcommitted_.assign(txns_.size(), false);
-    for (std::size_t tix = 0; tix < txns_.size(); ++tix)
-      if (result.witness->committed.test(tix)) wcommitted_[tix] = true;
   } else if (result.no()) {
     latch(result.explanation.empty()
               ? "no serialization satisfies Def. 3 (1)-(3)"
               : result.explanation,
-          /*by_fast_reject=*/false);
+          /*by_fast_path=*/false);
   } else {
     verdict_ = Verdict::kUnknown;
-    have_witness_ = false;
   }
 }
 
@@ -414,17 +500,15 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
     return R::error(std::move(err));
 
   if ((e.op == OpKind::kRead || e.op == OpKind::kWrite) &&
-      e.obj >= num_objects_) {
+      e.obj >= num_objects_)
     num_objects_ = e.obj + 1;
-    committed_writers_by_obj_.resize(static_cast<std::size_t>(num_objects_));
-    reads_by_obj_.resize(static_cast<std::size_t>(num_objects_));
-  }
 
   const bool is_new_txn = tix_of_.find(e.txn) == tix_of_.end();
   const std::size_t k = txn_index(e.txn);
   const std::size_t index = events_.size();
   events_.push_back(e);
   ++stats_.events;
+  removed_this_feed_ = false;
 
   // Latched prefixes stay latched (prefix closure); only the validation
   // state keeps advancing so malformed suffixes are still diagnosed.
@@ -448,8 +532,10 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
     if (e.aborted) {
       const bool was_commit_pending = t.status == TxnStatus::kCommitPending;
       t.status = TxnStatus::kAborted;
-      t_complete_.push_back(k);
-      if (!frozen) on_aborted(k, was_commit_pending);
+      if (!frozen) {
+        on_aborted(k, was_commit_pending);
+        if (!latched()) on_t_complete(k);
+      }
     } else {
       switch (e.op) {
         case OpKind::kRead:
@@ -457,8 +543,8 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
           break;
         case OpKind::kWrite: {
           // Record the final write value. The transaction is necessarily
-          // still running here, so its writes are invisible under every
-          // completion the witness may choose: no re-verification needed.
+          // still running here, so its writes are invisible to every
+          // constraint until its tryC invocation freezes the write set.
           bool found = false;
           for (auto& [obj, v] : t.final_writes)
             if (obj == e.obj) {
@@ -470,8 +556,10 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
         }
         case OpKind::kTryCommit:
           t.status = TxnStatus::kCommitted;
-          t_complete_.push_back(k);
-          if (!frozen) on_committed(k);
+          if (!frozen) {
+            on_committed(k, index);
+            on_t_complete(k);
+          }
           break;
         case OpKind::kTryAbort:
           DUO_UNREACHABLE("tryA response is always aborted (validated)");
@@ -480,7 +568,11 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
   }
 
   if (latched()) return R::ok(Verdict::kNo);
-  if (have_witness_) {
+  if (removed_this_feed_ && !pending_.empty()) retry_pending();
+  if (fast_path_ok()) {
+    // The maintained graph is exactly the batch engine's Tier-A constraint
+    // set for this prefix, and it is acyclic (every desired edge is in):
+    // any topological order of it is a du-opaque serialization.
     verdict_ = Verdict::kYes;
     ++stats_.fast_yes;
     return R::ok(Verdict::kYes);
@@ -491,6 +583,20 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
 
 History OnlineMonitor::history() const {
   return std::move(History::make(events_, num_objects_)).value_or_die();
+}
+
+std::optional<std::size_t> first_violation_index(
+    const std::vector<Event>& events, const MonitorOptions& opts,
+    std::string* explanation) {
+  OnlineMonitor mon(opts);
+  for (const Event& e : events) {
+    const auto fed = mon.feed(e);
+    DUO_ASSERT(fed.has_value());  // precondition: a well-formed sequence
+    if (fed.value() == Verdict::kNo) break;  // latched; the tail is covered
+  }
+  if (explanation != nullptr && mon.first_violation().has_value())
+    *explanation = mon.explanation();
+  return mon.first_violation();
 }
 
 }  // namespace duo::monitor

@@ -7,43 +7,58 @@
 // (Theorem 5) extends the guarantee to the whole execution. OnlineMonitor
 // turns that into an algorithm: it consumes history events one at a time
 // and maintains the verdict for the growing prefix incrementally, instead
-// of re-running the exponential checker per prefix.
+// of re-running the checker per prefix.
 //
-// Per event, three tiers run in order of cost:
+// The steady state is the graph engine (checker/graph_engine.hpp) maintained
+// incrementally. The monitor keeps, per event, exactly the Tier-A constraint
+// graph the batch engine would build for the current prefix:
 //
-//   1. Witness extension (cheap "yes"): the witness serialization of the
-//      previous prefix is adapted — a new transaction is appended to the
-//      order, a commit/abort response flips the transaction's completion
-//      bit — and only the reads whose legality that event can affect are
-//      re-verified. Invocations and write responses provably never
-//      invalidate the witness (a transaction's writes are invisible until
-//      its completion bit is set), so most events are O(1). When the
-//      in-place adaptation breaks, one repair is tried before falling back:
-//      the transaction the event concerns is re-serialized *last*. A
-//      transaction that just committed (its C response is the latest event)
-//      or is still running has no real-time successors, so the end of the
-//      order is always a real-time-valid position, and only its own reads
-//      need re-verification — this absorbs the common live pattern of a
-//      writer committing in the middle of concurrent readers' lifetimes.
+//   - real-time order, sparsified through a completion chain (one fresh
+//     graph node per t-completion; a transaction's ≺RT predecessors collapse
+//     to one edge from the latest chain node at its start);
+//   - reads-from edges, resolved exactly under unique writes (the unique
+//     can-commit writer of the value read);
+//   - per-object canonical version chains over the forced completion
+//     (committed transactions plus commit-pending writers somebody reads
+//     from), ordered by install key — tryC response once committed, tryC
+//     invocation while commit-pending — with consecutive-writer edges;
+//   - one anti-dependency edge per resolved read (reader before the first
+//     chain successor of its writer, skipping the reader itself);
+//   - initial-value-read edges (reader before every chain writer of the
+//     object).
 //
-//   2. Incremental fast-reject (cheap "no"): the necessary-edges constraint
-//      graph of checker/fast_reject.hpp — real-time edges, unique-candidate
-//      -writer edges, initial-value-read ordering edges — is maintained
-//      incrementally in an IncrementalGraph with online cycle detection, and
-//      the no-candidate-writer / no-tryC-before-response rejections are
-//      re-evaluated only for the reads whose candidate sets the event
-//      changed. A contradiction latches kNo at the current event index.
+// All of it lives in one shared util::IncrementalGraph with Pearce-Kelly
+// online cycle detection, so a typical event costs a handful of edge
+// insertions. While the maintained graph is acyclic and the unique-writes
+// precondition holds, ANY topological order of it is a valid du-opaque
+// serialization — the prefix is kYes with no search at all. The paper's
+// Def. 3(3) deferred-update condition collapses to the per-read
+// tryC-before-response predicate, checked directly at each read response.
 //
-//   3. Bounded search (exact fallback): only when the witness breaks and
-//      the fast-reject pass is inconclusive does the monitor run the full
-//      check_du_opacity on the prefix, adopting the fresh witness on "yes"
-//      and latching on "no".
+// Three event-local conditions latch kNo immediately (each is a sound
+// rejection of the current prefix, mirroring the batch engine's fast
+// rejects): an internal read not returning the transaction's own write, an
+// external read of a value no can-commit transaction writes, and a read
+// whose every candidate writer invoked tryC only after the read's response.
+//
+// Everything else falls back to one bounded batch check of the prefix
+// (checker/engine.hpp routing: graph Tier B, then DFS), which happens only
+// when (a) a canonical edge insertion would close a cycle — either a real
+// violation, latched from the batch verdict, or a canonical-order
+// miss-guess, after which the parked edge is retried as the graph thins —
+// or (b) the prefix leaves the unique-writes class (two can-commit writers
+// of one value, or a can-commit write of an initial value), for as long as
+// it stays outside. Recorded STM runs take neither path: the canonical
+// install order is the order the STM actually produced.
 //
 // The monitor's verdict for every prefix equals check_du_opacity on that
-// prefix (tests/monitor_test.cpp holds this over random histories and
-// recorded STM runs), with one deliberate exception: a verdict backed by a
-// maintained witness is reported as kYes even when a from-scratch search
-// would exhaust its node budget and report kUnknown.
+// prefix (tests/monitor_test.cpp holds this, and the equality of
+// first-violation indices, over random histories and recorded STM runs).
+//
+// Index convention: first_violation() is the 0-based index into the fed
+// event sequence (the same convention as History::events() and the batch
+// checker::first_bad_prefix query). Human-readable text — validate()
+// diagnostics, duo_check output — numbers events from 1.
 //
 // Initial values are assumed to be 0 for every object, matching recorded
 // executions and the trace parser.
@@ -75,32 +90,39 @@ struct MonitorOptions {
   /// DFS node budget for the bounded-search fallback.
   std::uint64_t node_budget = 50'000'000;
   /// Fixed t-object count; -1 grows the object set as events mention new
-  /// ids. Initial values are 0 either way.
+  /// ids (per-object state is kept in a sparse map, so large scattered ids
+  /// cost only what is actually touched). Initial values are 0 either way.
   ObjId num_objects = -1;
   /// Engine routing for the fallback tier (checker/engine.hpp). With the
-  /// default kAuto a unique-writes prefix — the common case for monitored
-  /// live runs — is re-checked by the polynomial graph engine instead of
-  /// the exponential search, so fallbacks stop being the monitor's
-  /// worst-case cost.
+  /// default kAuto a fallback on a unique-writes prefix is re-checked by
+  /// the polynomial graph engine (Tier B) instead of the exponential
+  /// search, so fallbacks stop being the monitor's worst-case cost.
   checker::EngineKind engine = checker::EngineKind::kAuto;
 };
 
 struct MonitorStats {
   std::size_t events = 0;
-  /// Events resolved on the witness fast path (no full check).
+  /// Events decided by the incrementally maintained constraint graph alone
+  /// (acyclic => kYes; no per-prefix check of any kind).
   std::size_t fast_yes = 0;
-  /// Events that required re-verifying part of the witness.
-  std::size_t witness_checks = 0;
-  /// Witness repairs (a transaction re-serialized at the end of the order).
-  std::size_t witness_repairs = 0;
-  /// Bounded-search fallbacks (History rebuild + check_du_opacity).
+  /// Bounded fallbacks (History rebuild + check_du_opacity on the prefix).
   std::size_t full_checks = 0;
   /// Fallbacks the engine router answered with the polynomial graph engine
   /// (subset of full_checks).
   std::size_t graph_checks = 0;
-  /// True when kNo was latched by the incremental fast-reject pass rather
-  /// than by the fallback search.
-  bool latched_by_fast_reject = false;
+  /// Constraint-graph edge references added / released.
+  std::size_t edges_added = 0;
+  std::size_t edges_removed = 0;
+  /// Version-chain splices: mid-chain insertions, removals and
+  /// move-to-ends (plain appends — the common case — are not counted).
+  std::size_t chain_splices = 0;
+  /// Desired edges parked because their insertion would have closed a
+  /// cycle (cumulative; each parking suspends the fast path until the
+  /// graph thins enough to admit the edge).
+  std::size_t deferred_edges = 0;
+  /// True when kNo was latched by the incremental tier itself (an
+  /// event-local rejection) rather than by the fallback check.
+  bool latched_by_fast_path = false;
 };
 
 class OnlineMonitor {
@@ -116,7 +138,9 @@ class OnlineMonitor {
   /// it covers every extension, so later feeds are O(1).
   Verdict verdict() const noexcept { return verdict_; }
 
-  /// 1-based index of the event at which kNo latched.
+  /// 0-based index (into the fed event sequence) of the event at which kNo
+  /// latched. Equals checker::first_bad_prefix on the same events; add 1
+  /// when printing for humans.
   std::optional<std::size_t> first_violation() const noexcept {
     return first_violation_;
   }
@@ -128,12 +152,17 @@ class OnlineMonitor {
   ObjId num_objects() const noexcept { return num_objects_; }
   const MonitorStats& stats() const noexcept { return stats_; }
 
-  /// Everything fed so far as a History (O(events); for reporting).
+  /// Everything fed so far as a History (O(events); for reporting). Note:
+  /// materializing a History is dense in object ids, so this (and the
+  /// fallback tier that uses it) assumes compact ids; the fast path itself
+  /// never materializes.
   History history() const;
 
  private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
   // -- per-transaction incremental state (index = tix, dense in order of
-  // first event, matching History's transaction indices) -----------------
+  // first event) ----------------------------------------------------------
   struct Txn {
     TxnId id = 0;
     TxnStatus status = TxnStatus::kRunning;
@@ -142,8 +171,16 @@ class OnlineMonitor {
     Event pending_inv;
     std::optional<std::size_t> tryc_inv;
     std::vector<std::pair<ObjId, Value>> final_writes;  // responded writes
-    std::set<ObjId> objects_read;      // read-once validation
-    std::vector<std::size_t> ext_read_ids;  // indices into reads_
+    std::set<ObjId> objects_read;  // read-once validation
+    std::size_t node = 0;          // constraint-graph node id
+    /// Canonical install key (chain sort key): tryC invocation index while
+    /// commit-pending, tryC response index once committed. Valid while the
+    /// transaction is in any version chain.
+    std::uint64_t install_key = 0;
+    bool in_chain = false;
+    /// Reads currently resolved to this writer (read ids); their count
+    /// drives commit-pending chain membership (the forced completion).
+    std::vector<std::size_t> rf_reads;
   };
 
   // -- per-external-read constraint state ---------------------------------
@@ -155,35 +192,65 @@ class OnlineMonitor {
     bool is_initial = false;
     std::vector<std::size_t> cands;  // can-commit writers of (obj, value)
     std::size_t local_count = 0;     // cands with tryC invoked before resp
-    std::optional<std::size_t> unique_edge;  // writer w with edge w -> reader
-    std::vector<std::size_t> initial_edges;  // targets m of reader -> m
+    std::size_t writer = kNone;      // resolved reads-from writer (tix)
+    std::size_t antidep = kNone;     // anti-dependency edge target (tix)
+  };
+
+  // -- per-object state (sparse: created on first touch) ------------------
+  struct ObjState {
+    /// Must-commit writers of this object in canonical install order.
+    std::vector<std::size_t> chain;
+    /// Initial-value reads of this object (read ids); each keeps an edge
+    /// to every chain member.
+    std::vector<std::size_t> initial_reads;
   };
 
   std::string validate(const Event& e) const;
   std::size_t txn_index(TxnId id);  // creates the transaction on first use
+  ObjState& obj_state(ObjId x) { return objs_[x]; }
 
-  void latch(std::string reason, bool by_fast_reject = true);
+  void latch(std::string reason, bool by_fast_path = true);
   bool latched() const noexcept { return verdict_ == Verdict::kNo; }
-  void add_graph_edge(std::size_t a, std::size_t b);
+
+  // Edge bookkeeping: every desired edge goes through link/unlink. A link
+  // that would close a cycle is parked in pending_ (the fast path is then
+  // suspended until it inserts cleanly after removals thin the graph).
+  void link(std::size_t a, std::size_t b);
+  void unlink(std::size_t a, std::size_t b);
+  void retry_pending();
 
   std::optional<Value> final_write_value(std::size_t tix, ObjId x) const;
-  bool can_commit(std::size_t tix) const;
   std::string read_desc(const Read& r) const;
+
+  // Version-chain maintenance (canonical install order).
+  std::size_t chain_pos(const ObjState& s, std::size_t tix) const;
+  std::size_t succ_with_skip(const ObjState& s, std::size_t wpos,
+                             std::size_t reader) const;
+  void retarget_read(std::size_t rid);
+  void retarget_around(ObjId x, std::size_t pos);
+  void chain_insert(ObjId x, std::size_t tix);
+  void chain_remove(ObjId x, std::size_t tix);
+  void enter_chains(std::size_t tix);
+  void leave_chains(std::size_t tix);
+
+  // Read resolution (unique writes: at most one candidate when the fast
+  // path is live).
+  void resolve_read(std::size_t rid, std::size_t w);
+  void unresolve_read(std::size_t rid);
+  void reject_or_resolve(std::size_t rid);
 
   // Constraint maintenance per status transition.
   void on_new_transaction(std::size_t tix);
+  void on_t_complete(std::size_t tix);
   void on_read_response(std::size_t tix, ObjId x, Value v,
                         std::size_t resp_index);
   void on_tryc_invoked(std::size_t tix);
-  void on_committed(std::size_t tix);
+  void on_committed(std::size_t tix, std::size_t resp_index);
   void on_aborted(std::size_t tix, bool was_commit_pending);
-  void refresh_read_constraints(Read& r);
 
-  // Witness maintenance.
-  bool witness_flip(std::size_t tix, bool committed);  // true if still valid
-  bool witness_verify_read(const Read& r) const;
-  bool witness_verify_txn_reads(std::size_t tix) const;
-  void witness_move_to_end(std::size_t tix);
+  bool fast_path_ok() const noexcept {
+    return pending_.empty() && nonuw_ == 0;
+  }
   void run_full_check();
 
   MonitorOptions opts_;
@@ -191,27 +258,37 @@ class OnlineMonitor {
   std::vector<Event> events_;
   std::vector<Txn> txns_;
   std::map<TxnId, std::size_t> tix_of_;
-  std::vector<std::size_t> t_complete_;  // tixs, in completion order
 
   std::vector<Read> reads_;
   // (obj, value) -> reads returning that value / can-commit writers of it.
   std::map<std::pair<ObjId, Value>, std::vector<std::size_t>> reads_of_;
   std::map<std::pair<ObjId, Value>, std::vector<std::size_t>> writers_of_;
-  std::vector<std::vector<std::size_t>> committed_writers_by_obj_;
-  std::vector<std::vector<std::size_t>> reads_by_obj_;
+  std::map<ObjId, ObjState> objs_;
 
   util::IncrementalGraph graph_;
+  std::vector<std::size_t> completion_nodes_;  // ≺RT sparsification chain
+  /// Desired edges absent from the graph (insertion would have closed a
+  /// cycle), with multiplicity. Non-empty => fast path suspended.
+  std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> pending_;
+  /// Unique-writes debt: count of (obj, value) keys with two or more
+  /// can-commit writers, plus can-commit final writes of an initial value.
+  /// Non-zero => the prefix is outside the class the incremental graph
+  /// decides, and every event falls back to the bounded check.
+  std::size_t nonuw_ = 0;
+  bool removed_this_feed_ = false;
 
-  // Latched verdict + witness of the last kYes prefix.
   Verdict verdict_ = Verdict::kYes;
   std::optional<std::size_t> first_violation_;
   std::string explanation_;
-  bool have_witness_ = true;  // the empty serialization
-  std::vector<std::size_t> worder_;
-  std::vector<std::size_t> wpos_;
-  std::vector<bool> wcommitted_;
 
   MonitorStats stats_;
 };
+
+/// Streams `events` through a fresh OnlineMonitor and returns the 0-based
+/// index of the first violating event (nullopt when no prefix latches).
+/// `explanation`, when non-null, receives the latch reason.
+std::optional<std::size_t> first_violation_index(
+    const std::vector<Event>& events, const MonitorOptions& opts = {},
+    std::string* explanation = nullptr);
 
 }  // namespace duo::monitor

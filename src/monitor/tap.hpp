@@ -39,6 +39,22 @@ class RecorderTap {
   /// Events fed to the monitor so far.
   std::size_t position() const noexcept { return position_; }
 
+  /// True once the recorder dropped events for lack of capacity. Every
+  /// verdict on the tapped stream then covers only the truncated prefix.
+  bool overflowed() const noexcept { return recorder_.overflowed(); }
+
+  /// The monitor's verdict qualified by recorder truncation. A latched kNo
+  /// stays kNo — it is sound on the recorded prefix, and prefix closure
+  /// extends it over the dropped tail. A clean kYes on an overflowed
+  /// recorder is *not* a verdict on the run (the dropped tail may violate)
+  /// and is downgraded to kUnknown, so callers cannot mistake a truncated
+  /// recording for a checked one.
+  checker::Verdict qualified_verdict() const noexcept {
+    if (overflowed() && monitor_.verdict() == checker::Verdict::kYes)
+      return checker::Verdict::kUnknown;
+    return monitor_.verdict();
+  }
+
  private:
   const stm::Recorder& recorder_;
   OnlineMonitor& monitor_;

@@ -15,10 +15,19 @@ std::size_t IncrementalGraph::add_node() {
   return id;
 }
 
+void IncrementalGraph::reserve(std::size_t nodes) {
+  out_.reserve(nodes);
+  in_.reserve(nodes);
+  ord_.reserve(nodes);
+  mark_.reserve(nodes);
+}
+
 bool IncrementalGraph::forward_reach(std::size_t from, std::size_t limit,
                                      std::size_t target,
                                      std::vector<std::size_t>& out) {
-  std::vector<std::size_t> stack{from};
+  std::vector<std::size_t>& stack = stack_;
+  stack.clear();
+  stack.push_back(from);
   mark_[from] = true;
   out.push_back(from);
   while (!stack.empty()) {
@@ -38,7 +47,9 @@ bool IncrementalGraph::forward_reach(std::size_t from, std::size_t limit,
 
 void IncrementalGraph::backward_reach(std::size_t from, std::size_t limit,
                                       std::vector<std::size_t>& out) {
-  std::vector<std::size_t> stack{from};
+  std::vector<std::size_t>& stack = stack_;
+  stack.clear();
+  stack.push_back(from);
   mark_[from] = true;
   out.push_back(from);
   while (!stack.empty()) {
@@ -71,12 +82,14 @@ bool IncrementalGraph::add_edge(std::size_t a, std::size_t b) {
     // combined order slots (in their existing relative order), then
     // deltaF's — which puts a and everything before it ahead of b and
     // everything after it, restoring topological consistency.
-    std::vector<std::size_t> delta_f;
+    std::vector<std::size_t>& delta_f = delta_f_;
+    delta_f.clear();
     const bool acyclic = forward_reach(b, ord_[a], a, delta_f);
     for (const std::size_t v : delta_f) mark_[v] = false;
     if (!acyclic) return false;
 
-    std::vector<std::size_t> delta_b;
+    std::vector<std::size_t>& delta_b = delta_b_;
+    delta_b.clear();
     backward_reach(a, ord_[b], delta_b);
     for (const std::size_t v : delta_b) mark_[v] = false;
 
@@ -86,7 +99,8 @@ bool IncrementalGraph::add_edge(std::size_t a, std::size_t b) {
     std::sort(delta_f.begin(), delta_f.end(), by_ord);
     std::sort(delta_b.begin(), delta_b.end(), by_ord);
 
-    std::vector<std::size_t> slots;
+    std::vector<std::size_t>& slots = slots_;
+    slots.clear();
     slots.reserve(delta_f.size() + delta_b.size());
     for (const std::size_t v : delta_b) slots.push_back(ord_[v]);
     for (const std::size_t v : delta_f) slots.push_back(ord_[v]);
@@ -126,7 +140,8 @@ bool IncrementalGraph::reaches(std::size_t a, std::size_t b) {
   DUO_EXPECTS(a < out_.size() && b < out_.size());
   if (a == b) return true;
   if (ord_[a] > ord_[b]) return false;  // order contradicts any a -> b path
-  std::vector<std::size_t> visited;
+  std::vector<std::size_t>& visited = delta_f_;
+  visited.clear();
   const bool missed = forward_reach(a, ord_[b], b, visited);
   for (const std::size_t v : visited) mark_[v] = false;
   return !missed;

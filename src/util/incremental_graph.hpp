@@ -36,6 +36,11 @@ class IncrementalGraph {
   /// nodes are appended at the end of the maintained topological order.
   std::size_t add_node();
 
+  /// Preallocates per-node arrays for `nodes` nodes. Purely an
+  /// optimization for callers that know the final size up front (the graph
+  /// engine's saturation pass); add_node still defines actual membership.
+  void reserve(std::size_t nodes);
+
   /// Adds one reference to the edge a -> b. Returns false iff the edge
   /// would close a cycle — in that case the graph is left unchanged. A
   /// self-loop is reported as a cycle.
@@ -78,6 +83,14 @@ class IncrementalGraph {
   std::vector<std::map<std::size_t, std::uint32_t>> in_;
   std::vector<std::size_t> ord_;  // node -> topological index
   std::vector<bool> mark_;       // scratch for the DFS passes
+  // Scratch buffers reused across add_edge/reaches calls. The online
+  // monitor performs a handful of insertions per streamed event, so the
+  // per-call allocations of the affected-region search were a measurable
+  // slice of its steady-state cost.
+  std::vector<std::size_t> stack_;
+  std::vector<std::size_t> delta_f_;
+  std::vector<std::size_t> delta_b_;
+  std::vector<std::size_t> slots_;
   std::size_t num_edges_ = 0;
 };
 

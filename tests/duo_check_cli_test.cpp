@@ -80,6 +80,70 @@ TEST_F(DuoCheckCli, ViolationExitsTwo) {
       << stdout_;
 }
 
+TEST_F(DuoCheckCli, ViolationReportPinpointsTheFirstBadEvent) {
+  // The single-trace report and --criterion du must pinpoint the shortest
+  // rejected prefix (checker::first_bad_prefix), printed 1-based and equal
+  // to the event --stream latches at: the 4th event (T2's read response).
+  const auto trace = write_trace("bad.txt", kViolating);
+  EXPECT_EQ(run(trace), 2);
+  EXPECT_NE(stdout_.find("first violation at event 4"), std::string::npos)
+      << stdout_;
+  EXPECT_EQ(run("--criterion du " + trace), 2);
+  EXPECT_NE(stdout_.find("first violation at event 4"), std::string::npos)
+      << stdout_;
+  EXPECT_EQ(run("--stream " + trace), 2);
+  EXPECT_NE(stdout_.find("VIOLATION at event 4"), std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, TruncatedMarkerPoisonsCleanVerdicts) {
+  // `truncated` marks a trace as the prefix of a longer run (an overflowed
+  // recorder): a would-be "yes" must surface as inconclusive (exit 2) in
+  // every mode, while a violation stays a violation (sound by prefix
+  // closure).
+  const auto clean =
+      write_trace("trunc_ok.txt", std::string("truncated ") + kOpaque);
+  EXPECT_EQ(run(clean), 2);
+  EXPECT_NE(stdout_.find("inconclusive"), std::string::npos) << stdout_;
+  EXPECT_EQ(run("--stream " + clean), 2);
+  EXPECT_NE(stdout_.find("stream inconclusive"), std::string::npos)
+      << stdout_;
+  EXPECT_EQ(run("--criterion du " + clean), 2);
+  EXPECT_NE(stdout_.find("inconclusive"), std::string::npos) << stdout_;
+
+  const auto bad =
+      write_trace("trunc_bad.txt", std::string("truncated ") + kViolating);
+  EXPECT_EQ(run(bad), 2);
+  EXPECT_NE(stdout_.find("du-opacity violated"), std::string::npos)
+      << stdout_;
+
+  // Violations survive truncation only for prefix-closed criteria.
+  // Final-state opacity is the canonical non-prefix-closed one: a read of
+  // a never-written value is fso-violating on the recorded prefix, but the
+  // dropped tail could have contained the writer — inconclusive, not "no".
+  const auto fso_bad = write_trace("trunc_fso.txt",
+                                   "truncated W1(X0,1) C1 R2(X0)=2 C2");
+  EXPECT_EQ(run("--criterion fso " + fso_bad), 2);
+  EXPECT_NE(stdout_.find("not prefix-closed"), std::string::npos) << stdout_;
+  EXPECT_EQ(run("--criterion du " + fso_bad), 2);
+  EXPECT_NE(stdout_.find("du-opacity violated"), std::string::npos)
+      << stdout_;
+  EXPECT_EQ(run("--criterion fso " + fso_bad + " " + bad), 2);
+  EXPECT_NE(stdout_.find("criterion is not prefix-closed"),
+            std::string::npos)
+      << stdout_;
+
+  // Batch mode: the truncated-clean trace counts as unknown, not ok.
+  const auto plain = write_trace("plain_ok.txt", kOpaque);
+  EXPECT_EQ(run(clean + " " + plain), 2);
+  EXPECT_NE(stdout_.find("inconclusive (trace marked truncated)"),
+            std::string::npos)
+      << stdout_;
+  EXPECT_NE(stdout_.find("1 du-opaque, 0 violations, 1 unknown"),
+            std::string::npos)
+      << stdout_;
+}
+
 TEST_F(DuoCheckCli, MissingFileExitsOne) {
   EXPECT_EQ(run((dir_ / "does_not_exist.txt").string()), 1);
 }

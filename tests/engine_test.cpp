@@ -36,6 +36,49 @@ TEST(EngineRouting, AutoPicksGraphForUniqueWrites) {
   EXPECT_GT(r.engine.graph_edges, 0u);
 }
 
+TEST(FirstBadPrefix, PinpointsTheShortestRejectedPrefix) {
+  // Figure 3's shape: the prefix becomes non-du-opaque at the 4th event
+  // (T2's read response, 0-based index 3) — no can-commit writer of the
+  // value exists in that prefix.
+  const History h = parse("W1(X0,1) R2(X0)=1 C1 C2");
+  const auto at = first_bad_prefix(h, Criterion::kDuOpacity, {});
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(*at, 3u);
+  // Every prefix up to the index is accepted; from it on, rejected
+  // (prefix closure — what makes the binary search sound).
+  for (std::size_t n = 0; n <= h.size(); ++n) {
+    const auto r = check_du_opacity(h.prefix(n));
+    EXPECT_EQ(r.verdict, n <= *at ? Verdict::kYes : Verdict::kNo) << n;
+  }
+}
+
+TEST(FirstBadPrefix, AcceptedHistoriesHaveNone) {
+  EXPECT_FALSE(first_bad_prefix(parse("W1(X0,1) C1 R2(X0)=1 C2"),
+                                Criterion::kDuOpacity, {})
+                   .has_value());
+  EXPECT_FALSE(
+      first_bad_prefix(parse(""), Criterion::kDuOpacity, {}).has_value());
+}
+
+TEST(FirstBadPrefix, RunsAtGraphEngineSpeedOnUniqueWrites) {
+  // A violation planted at the end of a long unique-writes history: the
+  // binary search must find its exact index through graph-engine probes
+  // (forced kGraph, so a DFS would be impossible to hide).
+  const History ok = gen::deterministic_live_run(4'000, 4, 8);
+  std::vector<history::Event> events = ok.events();
+  const history::TxnId fresh = 1 << 20;
+  events.push_back(history::Event::inv_read(fresh, 0));
+  events.push_back(history::Event::resp_read(fresh, 0, 987654321));
+  auto made = History::make(std::move(events), ok.num_objects());
+  ASSERT_TRUE(made.has_value());
+  const History h = std::move(made).take();
+  CheckOptions opts;
+  opts.engine = EngineKind::kGraph;
+  const auto at = first_bad_prefix(h, Criterion::kDuOpacity, opts);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(*at, h.size() - 1);  // the planted read response
+}
+
 TEST(EngineRouting, AutoPicksDfsWithoutUniqueWrites) {
   // Two writers of the same (object, value): fig1's defining feature.
   const History h = history::figures::fig1();

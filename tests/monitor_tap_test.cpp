@@ -24,6 +24,8 @@ using checker::Verdict;
 
 struct TapRun {
   Verdict verdict = Verdict::kUnknown;
+  Verdict qualified = Verdict::kUnknown;
+  bool overflowed = false;
   std::size_t fed = 0;
   history::History recording;
   MonitorStats stats;
@@ -40,8 +42,9 @@ TapRun run_with_tap(stm::Stm& s, stm::Recorder& rec,
   });
   tap.pump(done);
   workload.join();
-  return TapRun{mon.verdict(), tap.position(), rec.finish(s.num_objects()),
-                mon.stats()};
+  return TapRun{mon.verdict(),    tap.qualified_verdict(),
+                tap.overflowed(), tap.position(),
+                rec.finish(s.num_objects()), mon.stats()};
 }
 
 /// The registry-parameterized live matrix: every backend — deferred,
@@ -65,6 +68,10 @@ TEST_P(TapOverRegistry, LiveVerdictAgreesWithOffline) {
     const auto run = run_with_tap(*s, rec, wopts);
     EXPECT_EQ(run.fed, run.recording.size());
     EXPECT_EQ(run.fed, rec.count());
+    // The recorder is sized for the run, so the qualified verdict is the
+    // raw one.
+    EXPECT_FALSE(run.overflowed);
+    EXPECT_EQ(run.qualified, run.verdict);
     const auto offline = checker::check_du_opacity(run.recording);
     EXPECT_EQ(run.verdict, offline.verdict)
         << GetParam().name << " seed " << seed;
@@ -94,16 +101,20 @@ TEST(RecorderTap, ConcurrentNorecRunStaysOnFastPathMostly) {
   const auto run = run_with_tap(s, rec, wopts);
   EXPECT_EQ(run.verdict, Verdict::kYes);
   // The point of the subsystem: checking cost scales with events fed, so
-  // the vast majority of events must resolve on the fast path (witness
-  // extension or repair), not through the bounded search.
+  // the vast majority of events must resolve on the incremental graph, not
+  // through the bounded fallback.
   EXPECT_EQ(run.stats.events, run.fed);
   EXPECT_EQ(run.stats.fast_yes + run.stats.full_checks, run.stats.events);
   EXPECT_LE(run.stats.full_checks, run.stats.events / 10);
 }
 
-TEST(RecorderTap, OverflowTruncatesTheTapAndTheVerdict) {
-  // A recorder too small for the run: the tap must stop at capacity and the
-  // monitor verdict must match the offline verdict on the truncated prefix.
+TEST(RecorderTap, OverflowTruncatesTheTapAndPoisonsCleanVerdicts) {
+  // A recorder too small for the run: the tap must stop at capacity, the
+  // monitor verdict must match the offline verdict on the truncated
+  // prefix, and — the correctness point — a clean verdict must surface as
+  // kUnknown through qualified_verdict(): the dropped tail was never
+  // checked, so "yes on the prefix" is not a verdict on the run. A latched
+  // kNo stays kNo (prefix closure covers the tail).
   stm::Recorder rec(64);
   stm::Tl2Stm s(2, &rec);
   stm::WorkloadOptions wopts;
@@ -114,11 +125,16 @@ TEST(RecorderTap, OverflowTruncatesTheTapAndTheVerdict) {
   wopts.seed = 42;
   const auto run = run_with_tap(s, rec, wopts);
   EXPECT_TRUE(rec.overflowed());
+  EXPECT_TRUE(run.overflowed);
   EXPECT_EQ(rec.count(), rec.capacity());
   EXPECT_EQ(run.fed, rec.capacity());
   EXPECT_EQ(run.recording.size(), rec.capacity());
   const auto offline = checker::check_du_opacity(run.recording);
   EXPECT_EQ(run.verdict, offline.verdict);
+  if (run.verdict == Verdict::kYes)
+    EXPECT_EQ(run.qualified, Verdict::kUnknown);
+  else
+    EXPECT_EQ(run.qualified, run.verdict);
 }
 
 }  // namespace

@@ -187,8 +187,8 @@ TEST(TwoPlUndoFaulty, UncommittedReadLatchedByOnlineMonitor) {
   }
   ASSERT_TRUE(latched_at.has_value()) << history::compact(h);
   // The violating event is T2's read response returning the uncommitted
-  // value (event 4 of W1? ok1 R2? =7 ...).
-  EXPECT_EQ(*latched_at, 4u);
+  // value — the 4th event of W1? ok1 R2? =7 ..., so 0-based index 3.
+  EXPECT_EQ(*latched_at, 3u);
   EXPECT_EQ(mon.verdict(), checker::Verdict::kNo);
   EXPECT_FALSE(mon.explanation().empty());
 }

@@ -4,8 +4,20 @@
 // src/history/parser.hpp) and judges them for du-opacity.
 //
 // Single input: prints the timeline, per-criterion verdicts, a witness
-// serialization when one exists, and the pinpointed violation when
-// du-opacity fails.
+// serialization when one exists, and — when du-opacity fails — the first
+// violating event, pinpointed by checker::first_bad_prefix (a binary
+// search over prefixes, sound because du-opacity is prefix-closed, and
+// graph-engine fast on unique-writes histories). The printed 1-based event
+// number always equals the one --stream latches at.
+//
+// A trace carrying the `truncated` token (the serialization convention for
+// an overflowed recorder, see src/history/parser.hpp) is never given a
+// confident "yes": a clean verdict is reported as inconclusive (exit 2)
+// in single, batch and stream modes alike. A violation stays a violation
+// only for the prefix-closed criteria (du-opacity, opacity), where prefix
+// closure covers the dropped tail; for the others — final-state opacity is
+// the canonical non-prefix-closed case — the dropped tail could restore
+// the property, so a "no" on a truncated trace is downgraded too.
 //
 // Multiple inputs (several files and/or directories): batch mode — the
 // traces are checked concurrently through a CheckerPool and one verdict
@@ -69,6 +81,7 @@
 #include <thread>
 
 #include "checker/du_opacity.hpp"
+#include "checker/engine.hpp"
 #include "checker/pool.hpp"
 #include "checker/verdict.hpp"
 #include "history/parser.hpp"
@@ -160,6 +173,59 @@ void print_registry() {
   }
   std::printf("registered STM backends (stm::make_stm names):\n%s",
               table.render().c_str());
+}
+
+/// A parsed trace plus the `truncated` marker (see src/history/parser.hpp):
+/// a truncated trace is a prefix of a longer run, so a clean verdict on it
+/// must be reported as inconclusive rather than a confident "yes".
+struct LoadedTrace {
+  duo::history::History h;
+  bool truncated = false;
+};
+
+std::optional<LoadedTrace> parse_trace(const std::string& text,
+                                       std::string& error) {
+  auto parsed = duo::history::parse_events(text);
+  if (!parsed) {
+    error = parsed.error();
+    return std::nullopt;
+  }
+  auto pe = std::move(parsed).take();
+  const bool truncated = pe.truncated;
+  const duo::history::ObjId num_objects =
+      pe.declared_objects >= 0 ? pe.declared_objects : pe.max_obj + 1;
+  if (pe.max_obj >= num_objects) {
+    error = "objects= declares fewer objects than used";
+    return std::nullopt;
+  }
+  auto made = duo::history::History::make(std::move(pe.events), num_objects);
+  if (!made) {
+    error = made.error();
+    return std::nullopt;
+  }
+  return LoadedTrace{std::move(made).take(), truncated};
+}
+
+/// Criteria whose rejection of a prefix extends to every longer history:
+/// du-opacity (paper Corollary 2) and opacity (every prefix final-state
+/// opaque, by definition). Only for these may a "no" on a truncated trace
+/// stand for the full run, and only for these is the first-bad-prefix
+/// binary search sound.
+bool criterion_prefix_closed(duo::checker::Criterion c) {
+  return c == duo::checker::Criterion::kDuOpacity ||
+         c == duo::checker::Criterion::kOpacity;
+}
+
+/// Pinpoints the first violating event of a du-rejected history at engine
+/// speed (checker::first_bad_prefix binary search; du-opacity's prefix
+/// closure makes it sound) and prints it 1-based, matching --stream.
+void print_first_violation(const duo::history::History& h,
+                           const duo::checker::CheckOptions& copts) {
+  const auto at = duo::checker::first_bad_prefix(
+      h, duo::checker::Criterion::kDuOpacity, copts);
+  if (!at.has_value()) return;
+  std::printf("first violation at event %zu (%s)\n", *at + 1,
+              duo::history::to_string(h.events()[*at]).c_str());
 }
 
 /// Reads a trace, distinguishing I/O failure (nullopt) from a legitimately
@@ -375,6 +441,7 @@ int check_stream(const Options& opts) {
   // and an object id at or beyond it is an input error.
   duo::history::ObjId declared_objects = -1;
   duo::history::ObjId max_obj = -1;
+  bool truncated = false;
   const auto feed_tokens = [&](const std::string& text) -> int {
     auto parsed = duo::history::parse_events(text);
     if (!parsed) {
@@ -384,6 +451,7 @@ int check_stream(const Options& opts) {
     }
     if (parsed.value().declared_objects >= 0)
       declared_objects = parsed.value().declared_objects;
+    truncated = truncated || parsed.value().truncated;
     max_obj = std::max(max_obj, parsed.value().max_obj);
     if (declared_objects >= 0 && max_obj >= declared_objects) {
       std::fprintf(stderr,
@@ -398,8 +466,11 @@ int check_stream(const Options& opts) {
         return 1;
       }
       if (fed.value() == Verdict::kNo) {
+        // first_violation() is a 0-based index; event numbering in human
+        // output is 1-based (the monitor and the batch first_bad_prefix
+        // query share the 0-based convention).
         std::printf("VIOLATION at event %zu (%s): %s\n",
-                    *mon.first_violation(),
+                    *mon.first_violation() + 1,
                     duo::history::to_string(e).c_str(),
                     mon.explanation().c_str());
         return 2;
@@ -437,11 +508,20 @@ int check_stream(const Options& opts) {
 
   const auto& stats = mon.stats();
   if (mon.verdict() == Verdict::kYes) {
+    if (truncated) {
+      std::printf("stream inconclusive after %zu events: trace marked "
+                  "truncated, so the clean verdict covers only the recorded "
+                  "prefix (a violation would still have latched)\n",
+                  stats.events);
+      return 2;
+    }
     std::printf("stream du-opaque after %zu events "
-                "(%zu fast-path, %zu witness checks, %zu repairs, "
-                "%zu full checks, %zu on graph engine)\n",
-                stats.events, stats.fast_yes, stats.witness_checks,
-                stats.witness_repairs, stats.full_checks, stats.graph_checks);
+                "(%zu fast-path, %zu full checks, %zu on graph engine; "
+                "%zu edges added, %zu removed, %zu chain splices, "
+                "%zu deferred)\n",
+                stats.events, stats.fast_yes, stats.full_checks,
+                stats.graph_checks, stats.edges_added, stats.edges_removed,
+                stats.chain_splices, stats.deferred_edges);
     return 0;
   }
   std::printf("stream undecided after %zu events (search budget exhausted; "
@@ -457,13 +537,25 @@ int check_single(const std::string& path, const Options& opts) {
     std::fprintf(stderr, "duo_check: cannot read %s\n", path.c_str());
     return 1;
   }
-  auto parsed = duo::history::parse_history(*text);
-  if (!parsed) {
-    std::fprintf(stderr, "duo_check: parse error: %s\n",
-                 parsed.error().c_str());
+  std::string parse_error;
+  auto loaded = parse_trace(*text, parse_error);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "duo_check: parse error: %s\n", parse_error.c_str());
     return 1;
   }
-  const auto& h = parsed.value();
+  const auto& h = loaded->h;
+  const bool truncated = loaded->truncated;
+  const auto inconclusive_truncated = [&] {
+    std::printf("inconclusive: trace marked truncated, so the clean verdict "
+                "covers only the recorded prefix\n");
+    return 2;
+  };
+  const auto inconclusive_truncated_no = [&](const std::string& name) {
+    std::printf("inconclusive: trace marked truncated and %s is not "
+                "prefix-closed, so the dropped tail could restore it\n",
+                name.c_str());
+    return 2;
+  };
 
   // The per-transaction timeline is O(txns x events) characters — gigabytes
   // for the 100k-event traces the graph engine decides in milliseconds — so
@@ -489,8 +581,13 @@ int check_single(const std::string& path, const Options& opts) {
                 duo::checker::to_string(r.verdict).c_str());
     if (r.no() && !r.explanation.empty())
       std::printf("%s violated: %s\n", name.c_str(), r.explanation.c_str());
+    if (r.no() && opts.criterion == duo::checker::Criterion::kDuOpacity)
+      print_first_violation(h, opts.check_options());
     if (opts.explain_engine) print_engine_line("engine", r.engine);
     if (opts.verbose) print_stats_line(r.stats);
+    if (r.yes() && truncated) return inconclusive_truncated();
+    if (r.no() && truncated && !criterion_prefix_closed(opts.criterion))
+      return inconclusive_truncated_no(name);
     return r.yes() ? 0 : 2;
   }
 
@@ -514,10 +611,12 @@ int check_single(const std::string& path, const Options& opts) {
     } else {
       std::printf("du-opaque\n");
     }
+    if (truncated) return inconclusive_truncated();
     return 0;
   }
   if (du.no()) {
     std::printf("du-opacity violated: %s\n", du.explanation.c_str());
+    print_first_violation(h, opts.check_options());
     return 2;
   }
   std::printf("du-opacity: %s\n", duo::checker::to_string(du.verdict).c_str());
@@ -529,6 +628,7 @@ int check_single(const std::string& path, const Options& opts) {
 int check_batch(const Options& opts) {
   const std::size_t n = opts.inputs.size();
   std::vector<std::string> errors(n);  // read/parse diagnostics, "" if ok
+  std::vector<char> truncated(n, 0);   // `truncated` marker per input
   std::vector<duo::history::History> histories;
   std::vector<std::size_t> history_input;  // histories[j] is inputs[...]
 
@@ -538,12 +638,14 @@ int check_batch(const Options& opts) {
       errors[i] = "cannot read";
       continue;
     }
-    auto parsed = duo::history::parse_history(*text);
-    if (!parsed) {
-      errors[i] = "parse error: " + parsed.error();
+    std::string parse_error;
+    auto loaded = parse_trace(*text, parse_error);
+    if (!loaded.has_value()) {
+      errors[i] = "parse error: " + parse_error;
       continue;
     }
-    histories.push_back(std::move(parsed).take());
+    truncated[i] = loaded->truncated ? 1 : 0;
+    histories.push_back(std::move(loaded->h));
     history_input.push_back(i);
   }
 
@@ -574,7 +676,22 @@ int check_batch(const Options& opts) {
     // With --explain-engine each batch line carries the deciding engine.
     const std::string engine_note =
         opts.explain_engine ? " [engine=" + r.engine.engine + "]" : "";
-    if (r.yes()) {
+    if (r.yes() && truncated[i] != 0) {
+      // A clean verdict on a truncated trace covers only the recorded
+      // prefix: inconclusive, never a confident "yes".
+      ++undecided;
+      std::printf("%s: inconclusive (trace marked truncated)%s\n",
+                  opts.inputs[i].c_str(), engine_note.c_str());
+    } else if (r.no() && truncated[i] != 0 &&
+               !criterion_prefix_closed(opts.criterion)) {
+      // Without prefix closure a rejection of the recorded prefix says
+      // nothing about the full run either.
+      ++undecided;
+      std::printf(
+          "%s: inconclusive (trace marked truncated; criterion is not "
+          "prefix-closed)%s\n",
+          opts.inputs[i].c_str(), engine_note.c_str());
+    } else if (r.yes()) {
       ++ok;
       std::printf("%s: %s%s\n", opts.inputs[i].c_str(), ok_label.c_str(),
                   engine_note.c_str());

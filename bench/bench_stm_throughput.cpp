@@ -50,7 +50,8 @@ void run_mix(benchmark::State& state, double write_fraction,
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(committed));
   state.counters["aborts_per_commit"] =
-      committed ? static_cast<double>(aborted) / committed : 0.0;
+      committed ? static_cast<double>(aborted) / static_cast<double>(committed)
+                : 0.0;
   state.SetLabel(which.name);
 }
 

@@ -7,9 +7,7 @@
 //   TL2 / NORec / TML / 2PL-Undo -> 100% du-opaque
 //   pessimistic                  -> du violations appear (and often worse)
 //   fault-injected variants      -> violations caught by the checkers
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -19,30 +17,12 @@
 #include "stm/registry.hpp"
 #include "stm/workload.hpp"
 #include "util/table.hpp"
+#include "util/threading.hpp"
 
 namespace {
 
 using namespace duo::stm;
-
-/// Stage-number rendezvous used to force reader/writer overlap regardless
-/// of core count (on single-core machines free-running races rarely fire).
-class Rendezvous {
- public:
-  void signal(int stage) {
-    std::scoped_lock lock(m_);
-    stage_ = stage;
-    cv_.notify_all();
-  }
-  void await(int stage) {
-    std::unique_lock lock(m_);
-    cv_.wait(lock, [&] { return stage_ >= stage; });
-  }
-
- private:
-  std::mutex m_;
-  std::condition_variable cv_;
-  int stage_ = 0;
-};
+using duo::util::Rendezvous;
 
 /// One staged round: the reader begins first (TML's begin blocks while a
 /// writer is active), then a writer updates object 0 mid-transaction, the

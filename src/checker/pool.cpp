@@ -3,8 +3,9 @@
 #include "checker/verdict.hpp"
 
 #include <deque>
-#include <mutex>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threading.hpp"
 
 namespace duo::checker {
@@ -14,13 +15,18 @@ namespace {
 /// Per-worker index queue. The owner pops from the front, thieves take from
 /// the back; a plain mutex suffices because each critical section is a
 /// couple of pointer moves while the protected work item is an NP-hard
-/// search.
+/// search. `queue_` is guarded by `mutex_` (compiler-checked on Clang):
+/// every access below must hold the lock, including the single-threaded
+/// dealing phase in check_batch — uniformity is cheaper than a suppression.
 class WorkQueue {
  public:
-  void push(std::size_t index) { queue_.push_back(index); }
+  void push(std::size_t index) {
+    util::MutexLock lock(mutex_);
+    queue_.push_back(index);
+  }
 
   bool pop_front(std::size_t& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     out = queue_.front();
     queue_.pop_front();
@@ -28,7 +34,7 @@ class WorkQueue {
   }
 
   bool steal_back(std::size_t& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     out = queue_.back();
     queue_.pop_back();
@@ -36,13 +42,13 @@ class WorkQueue {
   }
 
   std::size_t approx_size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return queue_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<std::size_t> queue_;
+  mutable util::Mutex mutex_;
+  std::deque<std::size_t> queue_ DUO_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -165,27 +165,55 @@ class Searcher {
     // precedence into it is already satisfied. This collapses the
     // exponential interleavings of aborted/read-only transactions that
     // dominate recorded STM histories and the paper's Figure 2 family.
-    bool greedy_done = false;
-    for (const std::size_t tix : order_) {
-      if (placed_.test(tix)) continue;
-      if (!preds_[tix].is_subset_of(placed_)) continue;
-      const TxnNode& node = nodes_[tix];
-      const bool eligible = node.forced_aborted || node.writes.empty();
-      if (!eligible) continue;
-      // The effect-free decision: commit only when abort is disallowed
-      // (committed-in-H read-only); otherwise abort (dominates committing
-      // for read-only commit-pending transactions).
-      const bool commit = node.forced_committed;
-      if (place(tix, commit)) {
-        const bool ok = dfs();
-        if (ok) return true;
-        unplace(tix, commit);
-        greedy_done = true;  // complete by the exchange argument
-        break;
+    //
+    // The chain is built ITERATIVELY, not by recursing per placement:
+    // recorded STM histories under contention are dominated by aborted
+    // attempts, so the chain routinely runs to tens of thousands of
+    // placements, and one stack frame per placement overflows the stack
+    // under ASan's enlarged frames (surfaced by the asan-ubsan CI job on
+    // stm_conformance_test). The chain never branches — a failed tip
+    // refutes every state along it by the same exchange argument — so a
+    // loop expresses it exactly. Node accounting is unchanged: one node
+    // per non-terminal placement, as the recursive form charged on entry.
+    std::vector<std::pair<std::size_t, bool>> chain;
+    bool complete = false;
+    // `placed_` only grows inside this loop, so the fully-placed prefix of
+    // order_ can be skipped permanently — rescans stay linear overall on
+    // the sequential histories where the chain is longest.
+    std::size_t skip = 0;
+    for (bool progress = true; progress && !budget_exhausted_;) {
+      progress = false;
+      while (skip < order_.size() && placed_.test(order_[skip])) ++skip;
+      for (std::size_t oi = skip; oi < order_.size(); ++oi) {
+        const std::size_t tix = order_[oi];
+        if (placed_.test(tix)) continue;
+        if (!preds_[tix].is_subset_of(placed_)) continue;
+        const TxnNode& node = nodes_[tix];
+        const bool eligible = node.forced_aborted || node.writes.empty();
+        if (!eligible) continue;
+        // The effect-free decision: commit only when abort is disallowed
+        // (committed-in-H read-only); otherwise abort (dominates committing
+        // for read-only commit-pending transactions).
+        const bool commit = node.forced_committed;
+        if (place(tix, commit)) {
+          chain.emplace_back(tix, commit);
+          if (seq_.size() == h_.num_txns()) {
+            complete = true;
+          } else if (++stats_.nodes > opts_.node_budget) {
+            budget_exhausted_ = true;
+          } else {
+            progress = true;  // rescan (a placement can unblock others)
+          }
+          break;
+        }
       }
     }
+    if (complete) return true;
 
-    if (!greedy_done && !budget_exhausted_) {
+    if (!budget_exhausted_) {
+      // Branch at the chain tip (or at the entry state when no effect-free
+      // placement was possible): commit/abort decisions for the remaining
+      // contended transactions.
       for (const std::size_t tix : order_) {
         if (placed_.test(tix)) continue;
         if (!preds_[tix].is_subset_of(placed_)) continue;
@@ -207,6 +235,11 @@ class Searcher {
         }
       }
     }
+
+    // Failed (or out of budget): unwind the greedy chain — the branching
+    // phase above already unwound its own placements.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+      unplace(it->first, it->second);
     if (budget_exhausted_) return false;
 
     // Only fully-failed subtrees are memoized (success returns early above).

@@ -40,7 +40,7 @@ std::string OnlineMonitor::validate(const Event& e) const {
     if (t != nullptr && t->has_pending)
       return fail("invocation while operation pending");
     if (e.op == OpKind::kRead && t != nullptr &&
-        t->objects_read.count(e.obj) != 0)
+        t->objects_read.contains(e.obj))
       return fail("repeated read of same object (model assumes read-once)");
   } else {
     if (t == nullptr || !t->has_pending)
@@ -503,7 +503,7 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
       e.obj >= num_objects_)
     num_objects_ = e.obj + 1;
 
-  const bool is_new_txn = tix_of_.find(e.txn) == tix_of_.end();
+  const bool is_new_txn = !tix_of_.contains(e.txn);
   const std::size_t k = txn_index(e.txn);
   const std::size_t index = events_.size();
   events_.push_back(e);

@@ -11,7 +11,12 @@
 // the worker threads join.
 //
 // One tap drives one monitor from one thread; the concurrency is against
-// the recording threads, not between taps.
+// the recording threads, not between taps. Capability model (see
+// docs/concurrency.md "RecorderTap"): the tap takes shared, acquire-ordered
+// read access to published recorder slots only (Recorder::try_read); the
+// monitor it feeds and `position_` are exclusively owned by the polling
+// thread and need no synchronization — the tap is externally synchronized
+// by construction, which is why it carries no locks to annotate.
 #pragma once
 
 #include <atomic>

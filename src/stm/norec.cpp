@@ -59,7 +59,15 @@ class NorecTransaction final : public Transaction {
     return true;
   }
 
-  bool commit() override {
+  // Seqlock acquisition protocol, invisible to -Wthread-safety. Proof
+  // obligation: the CAS from the even `snapshot_` to the odd snapshot_+1 is
+  // the unique acquisition of the global write capability; every exit path
+  // after a successful CAS releases it by storing the even snapshot_+2
+  // (there is exactly one such path — writeback then release; the failure
+  // paths return before the CAS succeeds). While the lock value is odd no
+  // other committer's CAS can succeed (their expected values are even), so
+  // the writeback below is exclusive.
+  bool commit() DUO_NO_THREAD_SAFETY_ANALYSIS override {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
     finished_ = true;

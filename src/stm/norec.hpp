@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "stm/api.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace duo::stm {
 
@@ -28,6 +29,13 @@ class NorecStm final : public Stm {
   const ObjId num_objects_;
   Recorder* const recorder_;
   /// Even: unlocked; odd: a committer is writing back.
+  ///
+  /// Capability model (global sequence lock — outside the static analysis;
+  /// the commit protocol in norec.cpp carries DUO_NO_THREAD_SAFETY_ANALYSIS
+  /// and the proof obligation; see docs/concurrency.md "NORec"): an odd
+  /// seqlock_ value is an exclusive write capability over all of `values_`.
+  /// Readers never block on it; they detect concurrent writeback by
+  /// re-reading seqlock_ around each value sample and revalidate by value.
   std::atomic<std::uint64_t> seqlock_{0};
   std::atomic<TxnId> next_txn_id_{1};
   std::vector<std::atomic<Value>> values_;

@@ -1,5 +1,7 @@
 #include "stm/pessimistic.hpp"
 
+#include "util/thread_annotations.hpp"
+
 namespace duo::stm {
 
 class PessimisticTransaction final : public Transaction {
@@ -10,7 +12,7 @@ class PessimisticTransaction final : public Transaction {
   ~PessimisticTransaction() override {
     // No-abort STM: a dropped transaction that acquired the writer lock
     // must still release it.
-    if (writer_ && !finished_) stm_.writer_mutex_.unlock();
+    if (writer_ && !finished_) release_writer();
   }
 
   std::optional<Value> read(ObjId obj) override {
@@ -38,10 +40,7 @@ class PessimisticTransaction final : public Transaction {
   bool write(ObjId obj, Value v) override {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_write(id_, obj, v));
-    if (!writer_) {
-      stm_.writer_mutex_.lock();
-      writer_ = true;
-    }
+    if (!writer_) become_writer();
     stm_.values_[static_cast<std::size_t>(obj)].store(
         v, std::memory_order_release);
     scope.respond(Event::resp_write_ok(id_, obj));
@@ -52,7 +51,7 @@ class PessimisticTransaction final : public Transaction {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
     finished_ = true;
-    if (writer_) stm_.writer_mutex_.unlock();
+    if (writer_) release_writer();
     scope.respond(Event::resp_commit(id_));
     return true;  // no transaction ever aborts
   }
@@ -63,13 +62,36 @@ class PessimisticTransaction final : public Transaction {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_trya(id_));
     finished_ = true;
-    if (writer_) stm_.writer_mutex_.unlock();
+    if (writer_) release_writer();
     scope.respond(Event::resp_abort(id_, history::OpKind::kTryAbort));
   }
 
   bool finished() const override { return finished_; }
 
  private:
+  // Transaction-lifetime locking: writer_mutex_ is acquired in one method
+  // call (the first write) and released in a later one (commit/abort/
+  // destructor), keyed on `writer_`. Clang's analysis only tracks locks
+  // within a function, so these two helpers are the designated blind spot.
+  //
+  // Proof obligation replacing the static check: `writer_ == true` iff this
+  // transaction's thread holds writer_mutex_. become_writer is the only
+  // acquisition site and sets the flag immediately after locking;
+  // release_writer is the only release site, and all three of its callers
+  // (commit, abort, destructor) test `writer_` first and then either set
+  // finished_ or destroy the transaction, so no path releases twice or
+  // leaks the lock. A Transaction is single-threaded by API contract, so
+  // `writer_` itself needs no synchronization.
+
+  void become_writer() DUO_NO_THREAD_SAFETY_ANALYSIS {
+    stm_.writer_mutex_.lock();
+    writer_ = true;
+  }
+
+  void release_writer() DUO_NO_THREAD_SAFETY_ANALYSIS {
+    stm_.writer_mutex_.unlock();
+  }
+
   bool read_recorded(ObjId obj) const {
     for (const ObjId o : recorded_reads_)
       if (o == obj) return true;

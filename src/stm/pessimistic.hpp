@@ -19,10 +19,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "stm/api.hpp"
+#include "util/mutex.hpp"
 
 namespace duo::stm {
 
@@ -42,7 +42,14 @@ class PessimisticStm final : public Stm {
 
   const ObjId num_objects_;
   Recorder* const recorder_;
-  std::mutex writer_mutex_;
+  /// Capability: the exclusive right to store into `values_` in place.
+  /// Held from a transaction's first write to its commit/abort — a
+  /// transaction-lifetime critical section that spans method boundaries,
+  /// which the static analysis cannot follow; the acquisition/release sites
+  /// in pessimistic.cpp carry the proof obligation. `values_` itself stays
+  /// lock-free readable (that unvalidated read path is the whole point of
+  /// this backend), so it is deliberately *not* GUARDED_BY this mutex.
+  util::Mutex writer_mutex_;
   std::atomic<TxnId> next_txn_id_{1};
   std::vector<std::atomic<Value>> values_;
 };

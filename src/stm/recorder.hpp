@@ -8,6 +8,13 @@
 // event's logging happens-before another's (same thread, or through any
 // happens-before chain such as "commit wrote the value the read returned"),
 // its sequence number is smaller.
+//
+// Capability model (lock-free publication — outside the static analysis;
+// see docs/concurrency.md "Recorder"): the fetch-add on next_ transfers
+// exclusive ownership of slot i to the claiming thread; the release store
+// of ready publishes it, after which the slot is immutable and any acquire
+// load of ready grants shared read access to the event. No thread ever
+// writes a slot it did not claim, and no reader reads before ready.
 #pragma once
 
 #include <algorithm>

@@ -82,7 +82,14 @@ class Tl2Transaction final : public Transaction {
     return true;
   }
 
-  bool commit() override {
+  // Lock protocol, invisible to -Wthread-safety (CAS loops on the per-slot
+  // vlock words). Proof obligation: commit() acquires the write locks of
+  // every slot in writes_ in ascending object order (deadlock freedom) via
+  // lock_slot, and every exit path releases exactly the acquired prefix —
+  // the early-abort path releases `acquired` locks, the validation-failure
+  // paths release all writes_.size(), and the success path republishes
+  // every slot unlocked with the new version. No lock outlives commit().
+  bool commit() DUO_NO_THREAD_SAFETY_ANALYSIS override {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
     finished_ = true;
@@ -162,7 +169,10 @@ class Tl2Transaction final : public Transaction {
   bool finished() const override { return finished_; }
 
  private:
-  bool lock_slot(ObjId obj) {
+  /// Try-acquire of the slot's vlock write bit (bounded spin). On success
+  /// the pre-lock version is saved in lock_versions_, parallel to the
+  /// sorted writes_ — release_locks depends on that pairing.
+  bool lock_slot(ObjId obj) DUO_NO_THREAD_SAFETY_ANALYSIS {
     Tl2Stm::Slot& slot = stm_.slots_[static_cast<std::size_t>(obj)];
     for (int spin = 0; spin < stm_.options_.lock_spin_limit; ++spin) {
       std::uint64_t v = slot.vlock.load(std::memory_order_acquire);
@@ -200,7 +210,9 @@ class Tl2Transaction final : public Transaction {
   }
 
   /// Release the first `n` acquired locks, restoring their old versions.
-  void release_locks(std::size_t n) {
+  /// Only called by commit() on slots it locked itself (n never exceeds
+  /// lock_versions_.size()).
+  void release_locks(std::size_t n) DUO_NO_THREAD_SAFETY_ANALYSIS {
     for (std::size_t i = 0; i < n; ++i) {
       Tl2Stm::Slot& slot =
           stm_.slots_[static_cast<std::size_t>(writes_[i].obj)];

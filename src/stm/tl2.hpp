@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "stm/api.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace duo::stm {
 
@@ -41,6 +42,16 @@ class Tl2Stm final : public Stm {
  private:
   friend class Tl2Transaction;
 
+  /// Capability model (atomic lock word — outside the static analysis; the
+  /// protocol functions in tl2.cpp carry DUO_NO_THREAD_SAFETY_ANALYSIS and
+  /// the proof obligations; see docs/concurrency.md "TL2"):
+  ///   - vlock's low bit is a per-object write lock guarding `value`: only
+  ///     the lock holder may store to `value`, and it republishes vlock
+  ///     (unlocked, new version) only after the value store — so any reader
+  ///     observing an unlocked, stable version pair brackets a consistent
+  ///     value.
+  ///   - Versions are drawn from global_clock_; a committer bumps the clock
+  ///     before validating, so every slot version <= the clock value.
   struct alignas(64) Slot {
     /// Low bit: locked; remaining bits: version (shifted left by 1).
     std::atomic<std::uint64_t> vlock{0};

@@ -51,7 +51,17 @@ class TmlTransaction final : public Transaction {
     return v;
   }
 
-  bool write(ObjId obj, Value v) override {
+  // Global-lock writer protocol, invisible to -Wthread-safety. Proof
+  // obligation: `writer_ == true` iff this transaction holds the glock
+  // capability (glock_ is odd and was made odd by our CAS). write() is the
+  // only acquisition site (CAS even lv_ -> odd lv_+1, then writer_ = true);
+  // commit() and abort() are the only release sites, each storing the next
+  // even value exactly when writer_ is set and then marking the transaction
+  // finished, so no path releases twice or leaks the capability. The undo
+  // snapshot load in write() may be relaxed: while we hold the capability
+  // no other thread stores to values_, and our own CAS (acquire) ordered
+  // the last committer's writeback before it (see docs/concurrency.md).
+  bool write(ObjId obj, Value v) DUO_NO_THREAD_SAFETY_ANALYSIS override {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_write(id_, obj, v));
     if (!writer_) {
@@ -73,7 +83,8 @@ class TmlTransaction final : public Transaction {
     return true;
   }
 
-  bool commit() override {
+  // Releases the glock capability when held — see the obligation on write().
+  bool commit() DUO_NO_THREAD_SAFETY_ANALYSIS override {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_tryc(id_));
     finished_ = true;
@@ -86,7 +97,10 @@ class TmlTransaction final : public Transaction {
     return true;
   }
 
-  void abort() override {
+  // Rolls back under the held glock capability, then releases it — the
+  // undo stores land before the releasing even store (release ordering), so
+  // post-release readers cannot observe rolled-back values.
+  void abort() DUO_NO_THREAD_SAFETY_ANALYSIS override {
     DUO_EXPECTS(!finished_);
     OpScope scope(stm_.recorder_, Event::inv_trya(id_));
     finished_ = true;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "stm/api.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace duo::stm {
 
@@ -33,6 +34,15 @@ class TmlStm final : public Stm {
   const ObjId num_objects_;
   Recorder* const recorder_;
   /// Even: no writer; odd: a writer transaction is active.
+  ///
+  /// Capability model (global versioned lock — outside the static
+  /// analysis; the writer protocol in tml.cpp carries
+  /// DUO_NO_THREAD_SAFETY_ANALYSIS and the proof obligations; see
+  /// docs/concurrency.md "TML"): an odd glock_ value is an exclusive write
+  /// capability over all of `values_`, held from the acquiring CAS in
+  /// write() until commit()/abort() stores the next even value — a
+  /// transaction-lifetime critical section keyed on the transaction-local
+  /// `writer_` flag, like the pessimistic backend's writer_mutex_.
   std::atomic<std::uint64_t> glock_{0};
   std::atomic<TxnId> next_txn_id_{1};
   std::vector<std::atomic<Value>> values_;

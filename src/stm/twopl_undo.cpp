@@ -18,7 +18,12 @@ class TwoPlUndoTransaction final : public Transaction {
     }
   }
 
-  std::optional<Value> read(ObjId obj) override {
+  // Reader-lock protocol, invisible to -Wthread-safety. Proof obligation:
+  // `obj` is in read_locks_ iff this transaction's fetch_add incremented
+  // the slot's reader count and no release has yet decremented it; the
+  // back-off path undoes its increment immediately, so a failed
+  // acquisition never leaks a share of the capability.
+  std::optional<Value> read(ObjId obj) DUO_NO_THREAD_SAFETY_ANALYSIS override {
     DUO_EXPECTS(!finished_);
     const bool record_event = !read_recorded(obj);
     if (holds_read_lock(obj) || holds_write_lock(obj)) {
@@ -124,8 +129,11 @@ class TwoPlUndoTransaction final : public Transaction {
 
   /// CAS the writer bit in, tolerating only this transaction's own reader
   /// contribution (read-to-write upgrade). Any other reader or writer on
-  /// the object fails the acquisition.
-  bool acquire_write_lock(ObjId obj) {
+  /// the object fails the acquisition. Proof obligation: `obj` is in
+  /// write_locks_ iff our CAS installed the writer bit and no release has
+  /// cleared it; the in-place stores in write()/rollback() happen only for
+  /// objects in write_locks_ (strict variant), so they are exclusive.
+  bool acquire_write_lock(ObjId obj) DUO_NO_THREAD_SAFETY_ANALYSIS {
     const std::uint64_t own_readers =
         holds_read_lock(obj) ? TwoPlUndoStm::kReaderUnit : 0;
     std::uint64_t expected = own_readers;
@@ -137,14 +145,21 @@ class TwoPlUndoTransaction final : public Transaction {
     return true;
   }
 
-  void release_write_lock(ObjId obj) {
+  /// Fault-injection-only release site (early lock release): drops the
+  /// write capability while the transaction is still live — the deliberate
+  /// discipline violation the checkers must catch.
+  void release_write_lock(ObjId obj) DUO_NO_THREAD_SAFETY_ANALYSIS {
     slot(obj).lock.fetch_sub(TwoPlUndoStm::kWriterBit,
                              std::memory_order_acq_rel);
     write_locks_.erase(
         std::find(write_locks_.begin(), write_locks_.end(), obj));
   }
 
-  void release_all_locks() {
+  /// Bulk release at end of transaction. Proof obligation: read_locks_ /
+  /// write_locks_ list exactly the held capabilities (see the acquisition
+  /// obligations above), each is decremented exactly once, and both lists
+  /// are cleared — afterwards the transaction holds nothing.
+  void release_all_locks() DUO_NO_THREAD_SAFETY_ANALYSIS {
     for (const ObjId obj : read_locks_)
       slot(obj).lock.fetch_sub(TwoPlUndoStm::kReaderUnit,
                                std::memory_order_acq_rel);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "stm/api.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace duo::stm {
 
@@ -59,6 +60,15 @@ class TwoPlUndoStm final : public Stm {
   /// Writers acquire with a CAS that tolerates only their own read-lock
   /// contribution (upgrade); readers acquire with fetch_add and back off if
   /// the prior value carried the write bit.
+  ///
+  /// Capability model (atomic reader-writer word — outside the static
+  /// analysis; the lock-protocol functions in twopl_undo.cpp carry
+  /// DUO_NO_THREAD_SAFETY_ANALYSIS and the proof obligations; see
+  /// docs/concurrency.md "2PL-Undo"): the write bit is an exclusive
+  /// capability over `value`, a nonzero reader count a shared one. In the
+  /// correct variant both are held until commit/abort (strict 2PL); the
+  /// faulty_early_lock_release variant deliberately breaks exactly this
+  /// invariant, which is why the suppressed functions spell it out.
   struct alignas(64) Slot {
     std::atomic<std::uint64_t> lock{0};
     std::atomic<Value> value{0};

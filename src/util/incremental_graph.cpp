@@ -133,7 +133,7 @@ void IncrementalGraph::remove_edge(std::size_t a, std::size_t b) {
 
 bool IncrementalGraph::has_edge(std::size_t a, std::size_t b) const {
   DUO_EXPECTS(a < out_.size() && b < out_.size());
-  return out_[a].count(b) != 0;
+  return out_[a].contains(b);
 }
 
 bool IncrementalGraph::reaches(std::size_t a, std::size_t b) {

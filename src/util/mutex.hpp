@@ -1,0 +1,84 @@
+// Annotated mutex wrappers: the only blocking locks this codebase uses.
+//
+// `util::Mutex` wraps std::mutex and is declared a Clang Thread Safety
+// capability; fields it protects are declared with DUO_GUARDED_BY, and the
+// Clang CI job then rejects — at compile time — any access to those fields
+// made without the lock held. Raw std::mutex / std::lock_guard /
+// std::condition_variable outside src/util/ are banned by
+// tools/lint/check_conventions.py precisely because they are invisible to
+// this analysis.
+//
+// NOLINT justifications and the capability model follow the Clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and mirror
+// Abseil's absl/synchronization annotations.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace duo::util {
+
+/// A non-reentrant mutual-exclusion capability. Prefer MutexLock for
+/// scoped acquisition; lock()/unlock() exist for protocols whose critical
+/// sections span function boundaries (each such site carries an
+/// annotation or a written proof obligation).
+class DUO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DUO_ACQUIRE() { m_.lock(); }
+  void unlock() DUO_RELEASE() { m_.unlock(); }
+  bool try_lock() DUO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// Scoped lock: acquires on construction, releases on destruction.
+class DUO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DUO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DUO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. wait() requires the caller to
+/// hold `mu` (typically via a MutexLock in the same scope) — the annotation
+/// makes Clang verify the caller really owns the lock at the call site —
+/// and returns with `mu` held again. Spurious wakeups are possible, as with
+/// any condition variable: callers re-test their predicate in a loop, which
+/// keeps the guarded reads inside the annotated caller where the analysis
+/// can see them.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) DUO_REQUIRES(mu) {
+    // Adopt the caller-held lock for the duration of the wait, then release
+    // ownership bookkeeping without unlocking: the caller's MutexLock (or
+    // explicit unlock) remains responsible for the final release.
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace duo::util

@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to Clang's `-Wthread-safety` capability attributes when the
+// compiler supports them and to nothing otherwise (GCC, MSVC), so annotated
+// code compiles everywhere while Clang builds get a compile-time proof that
+// every access to a GUARDED_BY field happens under its capability. The CI
+// `thread-safety` job builds with `-Wthread-safety -Werror`, making a
+// violated lock discipline a build failure, not a latent race.
+//
+// Conventions in this codebase (see docs/concurrency.md for the full
+// lock-ownership map):
+//   - Every blocking lock is a `util::Mutex` (src/util/mutex.hpp), never a
+//     raw std::mutex — enforced by tools/lint/check_conventions.py. Fields
+//     it protects carry DUO_GUARDED_BY(mutex_).
+//   - Atomic lock *words* (TL2 per-object versioned locks, the NORec/TML
+//     seqlocks, 2PL-Undo reader-writer words) are protocols the analysis
+//     cannot model. Functions implementing such a protocol carry
+//     DUO_NO_THREAD_SAFETY_ANALYSIS plus a written proof obligation
+//     stating the invariant that replaces the static check.
+#pragma once
+
+// NOLINTBEGIN(bugprone-macro-parentheses): macro arguments here are
+// attribute tokens and capability expressions, not value expressions —
+// parenthesizing them (e.g. capability((x))) changes or breaks the
+// attribute syntax. This is the canonical shape from the Clang Thread
+// Safety Analysis documentation.
+
+#if defined(__clang__) && !defined(SWIG)
+#define DUO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DUO_THREAD_ANNOTATION_(x)  // not supported: expand to nothing
+#endif
+
+/// Marks a class as a capability (a lock). The string is the name the
+/// analysis uses in diagnostics, e.g. "mutex".
+#define DUO_CAPABILITY(x) DUO_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (e.g. util::MutexLock).
+#define DUO_SCOPED_CAPABILITY DUO_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The member may only be read or written while holding the capability.
+#define DUO_GUARDED_BY(x) DUO_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The *pointee* of this pointer member is protected by the capability.
+#define DUO_PT_GUARDED_BY(x) DUO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities;
+/// it does not acquire or release them.
+#define DUO_REQUIRES(...) \
+  DUO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DUO_REQUIRES_SHARED(...) \
+  DUO_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities.
+#define DUO_ACQUIRE(...) \
+  DUO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DUO_ACQUIRE_SHARED(...) \
+  DUO_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define DUO_RELEASE(...) \
+  DUO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DUO_RELEASE_SHARED(...) \
+  DUO_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define DUO_TRY_ACQUIRE(ret, ...) \
+  DUO_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The function must be called *without* the listed capabilities held
+/// (deadlock prevention for non-reentrant locks).
+#define DUO_EXCLUDES(...) DUO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held; teaches the analysis the
+/// fact without an acquire (for externally synchronized entry points).
+#define DUO_ASSERT_CAPABILITY(x) DUO_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define DUO_RETURN_CAPABILITY(x) DUO_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Disables the analysis for one function. Every use must carry a comment
+/// stating the proof obligation: the invariant that guarantees what the
+/// analysis would otherwise have checked.
+#define DUO_NO_THREAD_SAFETY_ANALYSIS \
+  DUO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)

@@ -2,12 +2,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace duo::util {
 
@@ -15,6 +16,18 @@ namespace duo::util {
 /// as close to simultaneously as possible. Falls back to yielding after a
 /// bounded spin so oversubscribed (fewer cores than threads) machines make
 /// progress.
+///
+/// Lock protocol (atomics; see docs/concurrency.md "SpinBarrier"): the last
+/// arriver of generation g resets `waiting_` and then publishes generation
+/// g+1 with a release increment; a waiter leaves only after an acquire load
+/// observes that increment. The `waiting_` reset may therefore be relaxed:
+///   - all generation-g increments of `waiting_` precede the leader's
+///     fetch_add in the modification order (the leader observed the full
+///     count via its acq_rel RMW), so the reset cannot clobber a straggler
+///     of its own generation; and
+///   - any generation-g+1 arrival performs its fetch_add *after* its
+///     acquire load of `generation_` saw the leader's release increment,
+///     which orders the reset before every next-generation increment.
 class SpinBarrier {
  public:
   explicit SpinBarrier(std::size_t parties) noexcept
@@ -37,6 +50,30 @@ class SpinBarrier {
   const std::size_t parties_;
   std::atomic<std::size_t> waiting_;
   std::atomic<std::uint64_t> generation_;
+};
+
+/// Monotonic stage-number rendezvous for staging deterministic thread
+/// interleavings in tests and benches (on single-core CI boxes,
+/// free-running races essentially never fire; staging makes the targeted
+/// overlap happen on every run). signal(s) publishes stage s; await(s)
+/// blocks until some thread has signalled stage >= s.
+class Rendezvous {
+ public:
+  void signal(int stage) {
+    MutexLock lock(mutex_);
+    if (stage > stage_) stage_ = stage;
+    cv_.notify_all();
+  }
+
+  void await(int stage) {
+    MutexLock lock(mutex_);
+    while (stage_ < stage) cv_.wait(mutex_);
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  int stage_ DUO_GUARDED_BY(mutex_) = 0;
 };
 
 /// Runs `body(thread_index)` on `n` threads, synchronizing the start with a

@@ -5,8 +5,6 @@
 // every run, then confirmed by the checkers.
 #include <gtest/gtest.h>
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "checker/du_opacity.hpp"
@@ -16,28 +14,12 @@
 #include "history/printer.hpp"
 #include "stm/pessimistic.hpp"
 #include "stm/workload.hpp"
+#include "util/threading.hpp"
 
 namespace duo::stm {
 namespace {
 
-/// Simple two-phase rendezvous for staging interleavings.
-class Rendezvous {
- public:
-  void signal(int stage) {
-    std::scoped_lock lock(m_);
-    stage_ = stage;
-    cv_.notify_all();
-  }
-  void await(int stage) {
-    std::unique_lock lock(m_);
-    cv_.wait(lock, [&] { return stage_ >= stage; });
-  }
-
- private:
-  std::mutex m_;
-  std::condition_variable cv_;
-  int stage_ = 0;
-};
+using util::Rendezvous;
 
 TEST(Pessimistic, ReadFromNotYetCommittingWriterViolatesDu) {
   Recorder rec(64);

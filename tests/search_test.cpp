@@ -81,6 +81,32 @@ TEST(Search, BudgetExhaustionReported) {
               r.stats.nodes <= 1);
 }
 
+TEST(Search, DeepGreedyChainDoesNotRecursePerPlacement) {
+  // Regression for a stack overflow surfaced by the asan-ubsan CI job on
+  // stm_conformance_test: a contended recorded history is dominated by
+  // aborted attempts, every one of which is an effect-free greedy
+  // placement, and the search used to recurse once per placement —
+  // thousands of frames, overflowing the stack under ASan's enlarged
+  // frames (the old recursion died below 2000 frames with
+  // detect_stack_use_after_return=1). The greedy chain is now a loop; this
+  // history (6k sequential aborted attempts between a committed writer and
+  // its reader) previously recursed 6k deep and must complete in two
+  // frames.
+  constexpr history::TxnId kAborted = 6000;
+  HistoryBuilder b(1);
+  b.write(1, 0, 7).tryc(1);
+  for (history::TxnId t = 2; t < 2 + kAborted; ++t)
+    b.write(t, 0, 99).tryc_aborts(t);
+  const history::TxnId reader = 2 + kAborted;
+  b.read(reader, 0, 7).tryc(reader);
+  const History h = b.build();
+  const auto r = find_serialization(h, {});
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.witness->order.size(), h.num_txns());
+  EXPECT_TRUE(r.witness->committed.test(h.tix_of(1)));
+  EXPECT_TRUE(r.witness->committed.test(h.tix_of(reader)));
+}
+
 TEST(Search, ExtraEdgeMakesUnsatisfiable) {
   // Legality forces T1 (writer of the value read) before T2; an extra edge
   // T2 -> T1 contradicts it.

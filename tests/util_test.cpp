@@ -2,13 +2,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/bitset.hpp"
 #include "util/format.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/threading.hpp"
 #include "util/zipf.hpp"
 
 namespace duo::util {
@@ -233,6 +239,111 @@ TEST(Format, Trim) {
 TEST(Format, StartsWith) {
   EXPECT_TRUE(starts_with("objects=3", "objects="));
   EXPECT_FALSE(starts_with("obj", "objects="));
+}
+
+TEST(Mutex, MutualExclusionUnderContention) {
+  Mutex mu;
+  std::uint64_t counter = 0;  // guarded by mu (locals can't carry GUARDED_BY)
+  constexpr std::uint64_t kIncrementsPerThread = 20000;
+  run_threads(4, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) {
+      MutexLock lock(mu);
+      ++counter;
+    }
+  });
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, 4 * kIncrementsPerThread);
+}
+
+TEST(Mutex, TryLockReportsHeldState) {
+  Mutex mu;
+  mu.lock();
+  std::atomic<bool> acquired{true};
+  // try_lock from *another* thread: self-try_lock on a held std::mutex is UB.
+  std::thread probe([&] {
+    if (mu.try_lock()) {
+      mu.unlock();
+    } else {
+      acquired.store(false);
+    }
+  });
+  probe.join();
+  EXPECT_FALSE(acquired.load());
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(CondVar, WaitReleasesAndReacquires) {
+  // A waiter must release the mutex while blocked (else the signaller could
+  // never acquire it to flip the predicate) and hold it again on wakeup.
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (locals can't carry GUARDED_BY)
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    // Holding mu again here: writing `ready` back is race-free.
+    ready = false;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  }
+  waiter.join();
+  MutexLock lock(mu);
+  EXPECT_FALSE(ready);
+}
+
+TEST(Rendezvous, StagesOrderThreads) {
+  Rendezvous rv;
+  std::vector<int> order;
+  Mutex order_mu;
+  run_threads(3, [&](std::size_t tid) {
+    // Thread t waits for stage t, records itself, then opens stage t+1 —
+    // so the record order is forced regardless of scheduling.
+    rv.await(static_cast<int>(tid));
+    {
+      MutexLock lock(order_mu);
+      order.push_back(static_cast<int>(tid));
+    }
+    rv.signal(static_cast<int>(tid) + 1);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Rendezvous, AwaitPastStageReturnsImmediately) {
+  Rendezvous rv;
+  rv.signal(5);
+  rv.await(3);  // must not block: stage 5 >= 3 already published
+  rv.await(5);
+  SUCCEED();
+}
+
+TEST(SpinBarrier, ReusableAcrossGenerations) {
+  // Regression scope: the relaxed `waiting_` reset in arrive_and_wait()
+  // (docs/concurrency.md "SpinBarrier"). Oversubscribe threads vs cores and
+  // cycle many generations so a straggler from generation g overlaps the
+  // leader's reset; a lost or double-counted arrival deadlocks the barrier
+  // or lets a thread skip a round, which the per-round counter detects.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kRounds = 500;
+  SpinBarrier barrier(kThreads);
+  std::vector<std::atomic<std::uint64_t>> rounds_done(kThreads);
+  for (auto& r : rounds_done) r.store(0);
+  run_threads(kThreads, [&](std::size_t tid) {
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+      barrier.arrive_and_wait();
+      rounds_done[tid].fetch_add(1);
+      barrier.arrive_and_wait();
+      // Between the two arrivals every thread is in the same round, so no
+      // thread can be more than one generation ahead of any other.
+      for (const auto& r : rounds_done)
+        EXPECT_GE(r.load(), round);
+    }
+  });
+  for (const auto& r : rounds_done) EXPECT_EQ(r.load(), kRounds);
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// Service-layer throughput: the sharded ingest pipeline vs single-threaded
+// text verification, and the prefix-sharded first-violation search vs the
+// sequential binary search.
+//
+// BM_PipelineIngest measures the end-to-end ingest rate: tokenizing +
+// event decoding on N parse workers, the serial monitor on the applier
+// thread. How much the workers buy is pure Amdahl: after the node-reuse
+// ordering fix in util/incremental_graph (see add_node), the GC-on monitor
+// feeds at ~0.8us/event while parsing costs ~0.1us/event, so overlapping
+// parse with apply caps at ~1.15x for this trace shape — the pipeline's
+// job here is to hide parse entirely and add no queueing overhead, i.e.
+// match BM_SingleThreadBaseline (parse and feed on one thread, no queues)
+// at every worker count. Parse-heavy inputs (or a future object-sharded
+// monitor) move the ceiling; the dev container is single-CPU, so any
+// parallel speedup only shows on multi-core CI runners.
+//
+// Measured on the dev machine (100k-event live run, events/sec):
+//
+//   single-thread baseline, GC on       ~1.21M
+//   pipeline, GC on, ring 256           ~1.19M  (queues cost ~1.5%)
+//   pipeline, GC on, default ring 16     ~1.0M  (memory-first default:
+//                                        the bound that keeps a catching-up
+//                                        duo_mond under ~30 MB RSS at any
+//                                        trace length)
+//   pipeline 4 workers, GC off           ~660k  (the graph never shrinks)
+//
+// GC ON being FASTER than GC off is the point of the subsystem: retirement
+// keeps the Pearce-Kelly graph at working-set size, so edge insertion
+// stays cheap while the GC-off graph drags ~33k nodes around by the end.
+//
+// GC is on in all ingest benchmarks (the production configuration); the
+// /gc0 variant isolates the contrast. CI archives the numbers as
+// BENCH_service.json next to BENCH_monitor.json.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checker/engine.hpp"
+#include "checker/pool.hpp"
+#include "gen/generator.hpp"
+#include "history/parser.hpp"
+#include "history/printer.hpp"
+#include "monitor/monitor.hpp"
+#include "service/pipeline.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using duo::history::History;
+
+/// Trace text of a deterministic du-opaque live run, pre-cut into
+/// submit-sized chunks. Cached: generation and chunking are not part of
+/// the timed region.
+struct TraceFixture {
+  std::vector<std::string> chunks;
+  std::size_t events = 0;
+};
+
+const TraceFixture& live_trace(std::int64_t target_events) {
+  static std::map<std::int64_t, TraceFixture> cache;
+  const auto it = cache.find(target_events);
+  if (it != cache.end()) return it->second;
+
+  const History h = duo::gen::deterministic_live_run(
+      static_cast<std::size_t>(target_events), /*threads=*/4, /*objects=*/8);
+  const std::string text = duo::history::compact(h);
+
+  TraceFixture fx;
+  fx.events = h.size();
+  // ~4 KiB per chunk, cut at token boundaries — the shape duo_mond's
+  // FollowReader hands to the pipeline.
+  constexpr std::size_t kChunkBytes = 4096;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = std::min(begin + kChunkBytes, text.size());
+    while (end < text.size() && text[end] != ' ' && text[end] != '\n') ++end;
+    fx.chunks.push_back(text.substr(begin, end - begin));
+    begin = end;
+  }
+  return cache.emplace(target_events, std::move(fx)).first->second;
+}
+
+/// Pipeline ingest of a 100k-event trace. Arg 0: parse workers. Arg 1:
+/// GC on/off.
+void BM_PipelineIngest(benchmark::State& state) {
+  const TraceFixture& fx = live_trace(100'000);
+  for (auto _ : state) {
+    duo::service::PipelineOptions opts;
+    opts.workers = static_cast<std::size_t>(state.range(0));
+    opts.monitor.gc = state.range(1) != 0;
+    duo::service::IngestPipeline pipeline(opts);
+    for (const auto& chunk : fx.chunks) {
+      const bool ok = pipeline.submit(std::string(chunk));
+      DUO_ASSERT(ok);
+    }
+    const auto result = pipeline.finish();
+    DUO_ASSERT(!result.error);
+    DUO_ASSERT(result.verdict == duo::checker::Verdict::kYes);
+    benchmark::DoNotOptimize(result.events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.events));
+}
+BENCHMARK(BM_PipelineIngest)
+    ->ArgsProduct({{1, 2, 4}, {1}})
+    ->Args({4, 0})  // GC-off contrast at the widest width
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The no-pipeline floor: parse and feed on the calling thread.
+void BM_SingleThreadBaseline(benchmark::State& state) {
+  const TraceFixture& fx = live_trace(100'000);
+  for (auto _ : state) {
+    duo::monitor::MonitorOptions mopts;
+    mopts.gc = true;
+    duo::monitor::OnlineMonitor monitor(mopts);
+    for (const auto& chunk : fx.chunks) {
+      const auto parsed = duo::history::parse_events(chunk);
+      DUO_ASSERT(parsed.has_value());
+      for (const auto& e : parsed.value().events) {
+        const auto fed = monitor.feed(e);
+        DUO_ASSERT(fed.has_value());
+      }
+    }
+    DUO_ASSERT(monitor.verdict() == duo::checker::Verdict::kYes);
+    benchmark::DoNotOptimize(monitor.events_fed());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.events));
+}
+BENCHMARK(BM_SingleThreadBaseline)->Unit(benchmark::kMillisecond);
+
+/// Prefix-sharded first-violation search on a long history whose single
+/// violation sits near the end (the worst case for a sequential binary
+/// search's early probes). Arg: shard count.
+void BM_LocateFirstViolation(benchmark::State& state) {
+  static History* bad = [] {
+    History h = duo::gen::deterministic_live_run(20'000, 4, 8);
+    auto events = h.events();
+    // Corrupt one read response near the end: a value nobody writes.
+    for (std::size_t i = events.size() - 1; i > 0; --i) {
+      auto& e = events[i];
+      if (e.is_response() && e.op == duo::history::OpKind::kRead &&
+          !e.aborted) {
+        e.value = 999'999'999;
+        break;
+      }
+    }
+    auto made = History::make(std::move(events), h.num_objects());
+    DUO_ASSERT(made.has_value());
+    return new History(std::move(made).value());
+  }();
+  duo::checker::PoolOptions popts;
+  popts.num_threads = 4;
+  const duo::checker::CheckerPool pool(popts);
+  std::optional<std::size_t> index;
+  for (auto _ : state) {
+    index = pool.locate_first_violation(
+        *bad, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(index);
+  }
+  DUO_ASSERT(index.has_value());
+  DUO_ASSERT(index == duo::checker::first_bad_prefix(
+                          *bad, duo::checker::Criterion::kDuOpacity));
+}
+BENCHMARK(BM_LocateFirstViolation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "checker/du_opacity.hpp"
 #include "util/assert.hpp"
@@ -13,6 +14,7 @@ using history::OpKind;
 
 OnlineMonitor::OnlineMonitor(const MonitorOptions& opts) : opts_(opts) {
   num_objects_ = std::max<ObjId>(opts_.num_objects, 0);
+  gc_trigger_ = opts_.gc_retain_events;
 }
 
 // ---------------------------------------------------------------------------
@@ -23,7 +25,7 @@ OnlineMonitor::OnlineMonitor(const MonitorOptions& opts) : opts_(opts) {
 std::string OnlineMonitor::validate(const Event& e) const {
   std::ostringstream msg;
   const auto fail = [&](const char* why) {
-    msg << why << " at event " << events_.size() + 1 << " ("
+    msg << why << " at event " << total_events_ + 1 << " ("
         << history::to_string(e) << ")";
     return msg.str();
   };
@@ -58,11 +60,21 @@ std::string OnlineMonitor::validate(const Event& e) const {
 std::size_t OnlineMonitor::txn_index(TxnId id) {
   const auto it = tix_of_.find(id);
   if (it != tix_of_.end()) return it->second;
-  const std::size_t k = txns_.size();
-  txns_.emplace_back();
+  std::size_t k;
+  if (!free_txns_.empty()) {
+    k = free_txns_.back();
+    free_txns_.pop_back();
+  } else {
+    k = txns_.size();
+    txns_.emplace_back();
+  }
+  txns_[k] = Txn{};
   txns_[k].id = id;
   txns_[k].node = graph_.add_node();
+  txns_[k].start_index = total_events_;  // the current event's index
+  max_txn_id_seen_ = std::max(max_txn_id_seen_, id);
   tix_of_.emplace(id, k);
+  if (opts_.gc) open_txns_.emplace_back(k, total_events_);
   return k;
 }
 
@@ -70,10 +82,10 @@ std::size_t OnlineMonitor::txn_index(TxnId id) {
 // Helpers
 
 void OnlineMonitor::latch(std::string reason, bool by_fast_path) {
-  DUO_ASSERT(!events_.empty());
+  DUO_ASSERT(total_events_ > 0);
   verdict_ = Verdict::kNo;
   stats_.latched_by_fast_path = by_fast_path;
-  first_violation_ = events_.size() - 1;  // 0-based: the current event
+  first_violation_ = total_events_ - 1;  // 0-based: the current event
   explanation_ = std::move(reason);
 }
 
@@ -190,10 +202,15 @@ void OnlineMonitor::retarget_read(std::size_t rid) {
   const std::size_t target =
       succ_with_skip(s, chain_pos(s, r.writer), r.reader);
   if (target == r.antidep) return;
-  if (r.antidep != kNone)
+  if (r.antidep != kNone) {
     unlink(txns_[r.reader].node, txns_[r.antidep].node);
+    --txns_[r.antidep].antidep_in;
+  }
   r.antidep = target;
-  if (target != kNone) link(txns_[r.reader].node, txns_[target].node);
+  if (target != kNone) {
+    link(txns_[r.reader].node, txns_[target].node);
+    ++txns_[target].antidep_in;
+  }
 }
 
 void OnlineMonitor::retarget_around(ObjId x, std::size_t pos) {
@@ -302,6 +319,7 @@ void OnlineMonitor::resolve_read(std::size_t rid, std::size_t w) {
   if (target != kNone) {
     r.antidep = target;
     link(txns_[r.reader].node, txns_[target].node);
+    ++txns_[target].antidep_in;
   }
 }
 
@@ -313,6 +331,7 @@ void OnlineMonitor::unresolve_read(std::size_t rid) {
   unlink(wt.node, txns_[r.reader].node);
   if (r.antidep != kNone) {
     unlink(txns_[r.reader].node, txns_[r.antidep].node);
+    --txns_[r.antidep].antidep_in;
     r.antidep = kNone;
   }
   auto& rf = wt.rf_reads;
@@ -349,15 +368,16 @@ void OnlineMonitor::on_new_transaction(std::size_t tix) {
   // completer -> c_i and c_{i-1} -> c_i; a new transaction gets one edge
   // from the latest chain node, inheriting every earlier completion
   // transitively. Edges into a fresh node can never close a cycle.
-  if (!completion_nodes_.empty())
-    link(completion_nodes_.back(), txns_[tix].node);
+  if (!completion_log_.empty())
+    link(completion_log_.back().node, txns_[tix].node);
 }
 
 void OnlineMonitor::on_t_complete(std::size_t tix) {
   const std::size_t c = graph_.add_node();
-  if (!completion_nodes_.empty()) link(completion_nodes_.back(), c);
+  if (!completion_log_.empty()) link(completion_log_.back().node, c);
   link(txns_[tix].node, c);
-  completion_nodes_.push_back(c);
+  txns_[tix].completion_seq = completion_base_ + completion_log_.size();
+  completion_log_.push_back(CompletionEntry{c, false});
 }
 
 void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
@@ -375,9 +395,17 @@ void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
     return;
   }
 
-  reads_.push_back(Read{});
-  Read& r = reads_.back();
-  const std::size_t rid = reads_.size() - 1;
+  std::size_t rid;
+  if (!free_reads_.empty()) {
+    rid = free_reads_.back();
+    free_reads_.pop_back();
+    reads_[rid] = Read{};
+  } else {
+    rid = reads_.size();
+    reads_.push_back(Read{});
+  }
+  Read& r = reads_[rid];
+  txns_[tix].my_reads.push_back(rid);
   r.reader = tix;
   r.obj = x;
   r.value = v;
@@ -469,6 +497,225 @@ void OnlineMonitor::on_aborted(std::size_t tix, bool was_commit_pending) {
 }
 
 // ---------------------------------------------------------------------------
+// Settled-prefix garbage collection. A retired transaction's graph node is
+// dropped wholesale, so retirement is sound exactly when nothing retained or
+// future can name the transaction again — see the settlement rule in
+// monitor.hpp and the full argument in docs/service.md. Passes run only
+// while the fast path is live (no parked edges, unique-writes class, not
+// latched), so every retained non-initial read is resolved and the graph is
+// exactly the Tier-A constraint set.
+
+std::size_t OnlineMonitor::live_horizon() {
+  // Entries are lazily pruned: finished entries, and entries whose slot was
+  // retired (start_index poisoned to kNone) or reused (a later transaction
+  // has a strictly larger start index, so the recorded start mismatches).
+  while (!open_txns_.empty()) {
+    const auto& [tix, start] = open_txns_.front();
+    if (txns_[tix].start_index == start && !txns_[tix].finished)
+      return start;
+    open_txns_.pop_front();
+  }
+  return total_events_;
+}
+
+bool OnlineMonitor::txn_settled(std::size_t tix, std::size_t horizon) const {
+  const Txn& t = txns_[tix];
+  // Behind the completion frontier: t-completed before every live and
+  // future transaction starts, so no future real-time edge involves it.
+  if (!t.finished || t.complete_index == kNone || t.complete_index >= horizon)
+    return false;
+  // No retained read anti-depends on it. (Reads still resolved TO it do
+  // not block: they are sealed at retirement.)
+  if (t.antidep_in != 0) return false;
+  if (t.status == TxnStatus::kCommitted) {
+    for (const auto& [x, v] : t.final_writes) {
+      (void)v;
+      const auto oit = objs_.find(x);
+      DUO_ASSERT(oit != objs_.end());
+      const ObjState& s = oit->second;
+      // Another transaction's initial-value read keeps an edge to every
+      // chain member, including this one; it drains when the reader
+      // retires. The transaction's own initial read retires with it.
+      for (const std::size_t rid : s.initial_reads)
+        if (reads_[rid].reader != tix) return false;
+      // Superseded with a two-successor guard installed before the
+      // horizon. Any future chain insertion keys at or after the horizon,
+      // so it lands strictly after both guards, and the retarget window
+      // (two positions back from a splice) can never reach this member. An
+      // install key below the horizon also implies the guard is committed:
+      // a commit-pending member is unfinished, so its tryC invocation —
+      // its install key — is at or after its own start, which is at or
+      // after the horizon.
+      const std::size_t pos = chain_pos(s, tix);
+      if (pos + 2 >= s.chain.size()) return false;
+      if (txns_[s.chain[pos + 1]].install_key >= horizon) return false;
+      if (txns_[s.chain[pos + 2]].install_key >= horizon) return false;
+    }
+  }
+  return true;
+}
+
+void OnlineMonitor::retire_read(std::size_t rid) {
+  Read& r = reads_[rid];
+  if (r.is_initial) {
+    auto& ir = objs_.at(r.obj).initial_reads;
+    ir.erase(std::find(ir.begin(), ir.end(), rid));
+    // The reader-before-every-chain-member edges die with the reader's
+    // graph node.
+  } else if (r.writer == kSealedWriter) {
+    // Sealed at the writer's retirement: already out of reads_of_, and the
+    // writer's rf_reads died with it. Only the sealed-version reference and
+    // the anti-dependency pin on the guard successor remain to release.
+    const auto svit = sealed_versions_.find({r.obj, r.value});
+    DUO_ASSERT(svit != sealed_versions_.end() && svit->second.refs > 0);
+    if (--svit->second.refs == 0) sealed_versions_.erase(svit);
+    if (r.antidep != kNone) --txns_[r.antidep].antidep_in;
+  } else {
+    const auto rit = reads_of_.find({r.obj, r.value});
+    DUO_ASSERT(rit != reads_of_.end());
+    auto& lst = rit->second;
+    lst.erase(std::find(lst.begin(), lst.end(), rid));
+    if (lst.empty()) reads_of_.erase(rit);
+    if (r.writer != kNone) {
+      // A live resolved writer is committed: a commit-pending writer is
+      // unfinished, so its tryC invocation would postdate this read's
+      // response and it could not have served the read.
+      Txn& wt = txns_[r.writer];
+      DUO_ASSERT(wt.status == TxnStatus::kCommitted);
+      auto& rf = wt.rf_reads;
+      rf.erase(std::find(rf.begin(), rf.end(), rid));
+    }
+    if (r.antidep != kNone) --txns_[r.antidep].antidep_in;
+  }
+  reads_[rid] = Read{};
+  free_reads_.push_back(rid);
+}
+
+void OnlineMonitor::retire_txn(std::size_t tix) {
+  Txn& t = txns_[tix];
+  DUO_ASSERT(t.antidep_in == 0);
+  // Seal any reads still resolved to this writer (read-modify-write chains
+  // keep each version referenced by the next transaction's read, so waiting
+  // for rf_reads to drain would block retirement forever). The read keeps
+  // its anti-dependency edge — whose target, the chain guard successor,
+  // stays retained while the read lives, pinning the true chain shape for
+  // fallback reconstruction — and the version joins sealed_versions_ so
+  // history() can re-materialize its writer.
+  for (const std::size_t rid : t.rf_reads) {
+    Read& r = reads_[rid];
+    DUO_ASSERT(r.writer == tix);
+    r.writer = kSealedWriter;
+    const auto rit = reads_of_.find({r.obj, r.value});
+    DUO_ASSERT(rit != reads_of_.end());
+    auto& lst = rit->second;
+    lst.erase(std::find(lst.begin(), lst.end(), rid));
+    if (lst.empty()) reads_of_.erase(rit);
+    auto& sv = sealed_versions_[{r.obj, r.value}];
+    sv.rank = t.install_key;
+    ++sv.refs;
+    ++stats_.sealed_reads;
+  }
+  for (const std::size_t rid : t.my_reads) retire_read(rid);
+  if (t.status == TxnStatus::kCommitted) {
+    DUO_ASSERT(t.in_chain);
+    for (const auto& [x, v] : t.final_writes) {
+      const auto wit = writers_of_.find({x, v});
+      DUO_ASSERT(wit != writers_of_.end());
+      auto& ws = wit->second;
+      ws.erase(std::find(ws.begin(), ws.end(), tix));
+      if (ws.empty()) writers_of_.erase(wit);
+      // Splice out of the chain without the usual unlink/retarget dance:
+      // no retained read targets this member, and its own edges die with
+      // the node below. Only the pred -> succ consecutive-writer bridge is
+      // added; the path pred -> tix -> succ exists right now, so the
+      // insertion cannot close a cycle.
+      ObjState& s = objs_.at(x);
+      const std::size_t pos = chain_pos(s, tix);
+      DUO_ASSERT(pos + 1 < s.chain.size());  // the settlement guard
+      if (pos > 0) link(txns_[s.chain[pos - 1]].node,
+                        txns_[s.chain[pos + 1]].node);
+      s.chain.erase(s.chain.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  } else {
+    DUO_ASSERT(!t.in_chain);
+  }
+  // Completion log: pop settled front nodes. A node pops once its completer
+  // is retired (earlier nodes popped first, so its only remaining edges
+  // point forward, to retained nodes that no longer need the constraint —
+  // every completer it summarizes is gone). The back node never pops: it is
+  // the one new transactions and completions link from.
+  if (t.completion_seq != kNone) {
+    completion_log_[t.completion_seq - completion_base_].completer_retired =
+        true;
+    while (completion_log_.size() > 1 &&
+           completion_log_.front().completer_retired) {
+      stats_.edges_removed += graph_.retire_node(completion_log_.front().node);
+      completion_log_.pop_front();
+      ++completion_base_;
+    }
+  }
+  stats_.edges_removed += graph_.retire_node(t.node);
+  tix_of_.erase(t.id);
+  ++stats_.retired_txns;
+  txns_[tix] = Txn{};
+  txns_[tix].start_index = kNone;  // poison stale open_txns_ entries
+  free_txns_.push_back(tix);
+}
+
+void OnlineMonitor::run_gc() {
+  ++stats_.gc_passes;
+  const std::size_t horizon = live_horizon();
+  // Retiring one transaction only removes references, so it cannot
+  // invalidate another's settlement (the chain guard is re-evaluated
+  // against the current chain, and the two youngest members of a chain
+  // never settle, so every settled member keeps a successor to bridge to).
+  // It CAN unblock one — a retired reader releases its anti-dependency pin
+  // on the next writer, or drops the initial-value read that pinned a
+  // chain — so the sweep is a worklist: every live transaction is checked
+  // once, and each retirement re-enqueues exactly the transactions it may
+  // have unlocked. Read-modify-write chains drain fully in one pass this
+  // way, without the quadratic rescan-all-per-generation fixpoint.
+  std::vector<std::size_t> work;
+  work.reserve(tix_of_.size());
+  for (const auto& [id, tix] : tix_of_) {
+    (void)id;
+    work.push_back(tix);
+  }
+  bool retired_any = false;
+  while (!work.empty()) {
+    const std::size_t tix = work.back();
+    work.pop_back();
+    // Slots retired earlier in this pass fail txn_settled (a cleared Txn is
+    // unfinished), and no slot is reused mid-pass (no events are fed), so
+    // stale worklist entries are harmlessly skipped.
+    if (!txn_settled(tix, horizon)) continue;
+    const Txn& t = txns_[tix];
+    for (const std::size_t rid : t.my_reads) {
+      const Read& r = reads_[rid];
+      if (r.antidep != kNone) work.push_back(r.antidep);
+      // Dropping an initial-value read may satisfy the no-other-initial-
+      // reads condition for any writer in the object's chain.
+      if (r.is_initial)
+        for (const std::size_t member : objs_.at(r.obj).chain)
+          work.push_back(member);
+    }
+    retire_txn(tix);
+    retired_any = true;
+  }
+  if (retired_any) {
+    // Compact the retained event log. This runs before any further event is
+    // fed, so a retired id cannot yet have been reused and membership in
+    // tix_of_ identifies retained events.
+    const std::size_t before = events_.size();
+    std::erase_if(events_,
+                  [this](const Event& ev) { return !tix_of_.contains(ev.txn); });
+    stats_.retired_events += before - events_.size();
+  }
+  gc_trigger_ =
+      total_events_ + std::max<std::size_t>(opts_.gc_retain_events / 2, 1);
+}
+
+// ---------------------------------------------------------------------------
 // The fallback tier
 
 void OnlineMonitor::run_full_check() {
@@ -504,8 +751,9 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
     num_objects_ = e.obj + 1;
 
   const bool is_new_txn = !tix_of_.contains(e.txn);
-  const std::size_t k = txn_index(e.txn);
-  const std::size_t index = events_.size();
+  const std::size_t k = txn_index(e.txn);  // reads total_events_ (this index)
+  const std::size_t index = total_events_;
+  ++total_events_;
   events_.push_back(e);
   ++stats_.events;
   removed_this_feed_ = false;
@@ -528,7 +776,10 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
   } else {
     const Event inv = t.pending_inv;
     t.has_pending = false;
-    if (e.aborted || e.op == OpKind::kTryCommit) t.finished = true;
+    if (e.aborted || e.op == OpKind::kTryCommit) {
+      t.finished = true;
+      t.complete_index = index;
+    }
     if (e.aborted) {
       const bool was_commit_pending = t.status == TxnStatus::kCommitPending;
       t.status = TxnStatus::kAborted;
@@ -575,6 +826,7 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
     // any topological order of it is a du-opaque serialization.
     verdict_ = Verdict::kYes;
     ++stats_.fast_yes;
+    if (opts_.gc && total_events_ >= gc_trigger_) run_gc();
     return R::ok(Verdict::kYes);
   }
   run_full_check();
@@ -582,7 +834,32 @@ util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
 }
 
 History OnlineMonitor::history() const {
-  return std::move(History::make(events_, num_objects_)).value_or_die();
+  if (sealed_versions_.empty())
+    return std::move(History::make(events_, num_objects_)).value_or_die();
+  // Retained reads may still be resolved to versions whose writers were
+  // retired (sealed). Re-materialize each such version as one synthetic
+  // committed writer prepended before the retained suffix, in install-rank
+  // order: ranks follow true completion order, so the preamble's real-time
+  // relation among these writers — and their precedence over everything
+  // retained — matches the original history's.
+  std::vector<std::tuple<std::uint64_t, ObjId, Value>> versions;
+  versions.reserve(sealed_versions_.size());
+  for (const auto& [key, sv] : sealed_versions_)
+    versions.emplace_back(sv.rank, key.first, key.second);
+  std::sort(versions.begin(), versions.end());
+  std::vector<Event> with_preamble;
+  with_preamble.reserve(4 * versions.size() + events_.size());
+  TxnId synth = max_txn_id_seen_;
+  for (const auto& [rank, x, v] : versions) {
+    (void)rank;
+    ++synth;
+    with_preamble.push_back(Event::inv_write(synth, x, v));
+    with_preamble.push_back(Event::resp_write_ok(synth, x));
+    with_preamble.push_back(Event::inv_tryc(synth));
+    with_preamble.push_back(Event::resp_commit(synth));
+  }
+  with_preamble.insert(with_preamble.end(), events_.begin(), events_.end());
+  return std::move(History::make(with_preamble, num_objects_)).value_or_die();
 }
 
 std::optional<std::size_t> first_violation_index(

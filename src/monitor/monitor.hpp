@@ -51,6 +51,41 @@
 // it stays outside. Recorded STM runs take neither path: the canonical
 // install order is the order the STM actually produced.
 //
+// Settled-prefix garbage collection (MonitorOptions::gc) bounds resident
+// state to O(live transactions) for indefinite streams: a transaction is
+// retired — its events, graph node, and per-object bookkeeping dropped —
+// once nothing retained or future can name it. The settlement rule (see
+// docs/service.md for the full argument) requires, with H the first event
+// index of the earliest-started unfinished transaction:
+//
+//   - finished and t-completed before H, so it real-time-precedes every
+//     live and future transaction;
+//   - no retained read's anti-dependency edge targets it (drains as the
+//     readers holding those edges retire);
+//   - if committed: on every object it wrote it is superseded by two
+//     committed successors installed before H, and no other transaction's
+//     retained initial read of that object exists. The two-successor
+//     guard makes any future chain splice or anti-dependency retarget
+//     land strictly after it, and makes any future stale read of a
+//     retired version a certain violation: the read would order its
+//     reader before a guard successor that t-completed before the reader
+//     even started.
+//
+// Reads still resolved to a retiring writer are sealed rather than
+// blocking it (read-modify-write chains would otherwise never drain): the
+// read keeps its anti-dependency edge — pinning the guard successor, so
+// the reader's ordering constraint survives — while the version it read
+// moves to a sealed-versions table. The fallback tier then checks the
+// retained events with one synthetic committed writer per sealed version
+// prepended in install-rank order; sealed versions precede the horizon, so
+// the synthetic writers' real-time position is consistent with every
+// retained transaction. A later read of a retired value latches kNo at the
+// same event the unretired monitor would (its candidate set is empty,
+// where the unretired monitor walks into the guard's real-time
+// contradiction). Verdicts and first-violation indices with GC on are
+// identical to the unretired monitor (tests/monitor_gc_test.cpp holds this
+// over the generator sweeps and every registry backend).
+//
 // The monitor's verdict for every prefix equals check_du_opacity on that
 // prefix (tests/monitor_test.cpp holds this, and the equality of
 // first-violation indices, over random histories and recorded STM runs).
@@ -64,6 +99,7 @@
 // executions and the trace parser.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -98,6 +134,16 @@ struct MonitorOptions {
   /// the polynomial graph engine (Tier B) instead of the exponential
   /// search, so fallbacks stop being the monitor's worst-case cost.
   checker::EngineKind engine = checker::EngineKind::kAuto;
+  /// Settled-prefix garbage collection: retire transactions nothing
+  /// retained or future can name (see the settlement rule in the header
+  /// comment), bounding resident state to O(live transactions) for
+  /// indefinite streams. Off by default: with GC on, history() returns
+  /// only the retained event subsequence.
+  bool gc = false;
+  /// GC pacing: a collection pass runs once the retained event count grows
+  /// past the last pass's count by max(gc_retain_events / 2, 1). 0 runs a
+  /// pass after every event (for tests; O(live) scan per event).
+  std::size_t gc_retain_events = 4096;
 };
 
 struct MonitorStats {
@@ -120,6 +166,11 @@ struct MonitorStats {
   /// cycle (cumulative; each parking suspends the fast path until the
   /// graph thins enough to admit the edge).
   std::size_t deferred_edges = 0;
+  /// Garbage-collection pass / retirement counters (all zero with GC off).
+  std::size_t gc_passes = 0;
+  std::size_t retired_txns = 0;
+  std::size_t retired_events = 0;
+  std::size_t sealed_reads = 0;
   /// True when kNo was latched by the incremental tier itself (an
   /// event-local rejection) rather than by the fallback check.
   bool latched_by_fast_path = false;
@@ -148,18 +199,33 @@ class OnlineMonitor {
   /// Human-readable reason for a kNo verdict.
   const std::string& explanation() const noexcept { return explanation_; }
 
-  std::size_t events_fed() const noexcept { return events_.size(); }
+  std::size_t events_fed() const noexcept { return total_events_; }
   ObjId num_objects() const noexcept { return num_objects_; }
   const MonitorStats& stats() const noexcept { return stats_; }
+
+  /// Observability for long-running service use (duo_mond stats dumps and
+  /// the flat-memory regression tests): the RSS-proxy resident state.
+  std::size_t retained_events() const noexcept { return events_.size(); }
+  std::size_t live_transactions() const noexcept { return tix_of_.size(); }
+  std::size_t graph_nodes() const noexcept { return graph_.num_live_nodes(); }
+  std::size_t graph_edges() const noexcept { return graph_.num_edges(); }
+  std::size_t pending_edges() const noexcept { return pending_.size(); }
+  std::size_t nonuw_debt() const noexcept { return nonuw_; }
 
   /// Everything fed so far as a History (O(events); for reporting). Note:
   /// materializing a History is dense in object ids, so this (and the
   /// fallback tier that uses it) assumes compact ids; the fast path itself
-  /// never materializes.
+  /// never materializes. With GC on this is the retained event
+  /// subsequence, which is self-contained (see the settlement rule).
   History history() const;
 
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  /// Read::writer sentinel: the resolved writer was retired by GC. The
+  /// read keeps its anti-dependency edge (pinning the target), but is out
+  /// of reads_of_, so no later candidate traffic touches it; the version
+  /// it read lives on in sealed_versions_ for fallback reconstruction.
+  static constexpr std::size_t kSealedWriter = static_cast<std::size_t>(-2);
 
   // -- per-transaction incremental state (index = tix, dense in order of
   // first event) ----------------------------------------------------------
@@ -181,6 +247,14 @@ class OnlineMonitor {
     /// Reads currently resolved to this writer (read ids); their count
     /// drives commit-pending chain membership (the forced completion).
     std::vector<std::size_t> rf_reads;
+    // GC bookkeeping.
+    std::size_t start_index = 0;       // absolute index of the first event
+    std::size_t complete_index = kNone;  // absolute index of the C/A response
+    std::size_t completion_seq = kNone;  // slot in the completion-node log
+    std::vector<std::size_t> my_reads;   // read ids issued by this txn
+    /// Retained reads whose anti-dependency edge currently targets this
+    /// transaction; non-zero blocks retirement.
+    std::size_t antidep_in = 0;
   };
 
   // -- per-external-read constraint state ---------------------------------
@@ -253,11 +327,24 @@ class OnlineMonitor {
   }
   void run_full_check();
 
+  // Settled-prefix garbage collection (all no-ops with opts_.gc off).
+  std::size_t live_horizon();
+  bool txn_settled(std::size_t tix, std::size_t horizon) const;
+  void retire_read(std::size_t rid);
+  void retire_txn(std::size_t tix);
+  void run_gc();
+
   MonitorOptions opts_;
   ObjId num_objects_ = 0;
+  /// Retained events, in feed order. Without GC this is every event ever
+  /// fed; with GC, retired transactions' events are compacted away and
+  /// total_events_ keeps the absolute count (and index convention).
   std::vector<Event> events_;
+  std::size_t total_events_ = 0;
   std::vector<Txn> txns_;
   std::map<TxnId, std::size_t> tix_of_;
+  std::vector<std::size_t> free_txns_;  // retired Txn slots awaiting reuse
+  std::vector<std::size_t> free_reads_;  // retired Read slots awaiting reuse
 
   std::vector<Read> reads_;
   // (obj, value) -> reads returning that value / can-commit writers of it.
@@ -266,7 +353,32 @@ class OnlineMonitor {
   std::map<ObjId, ObjState> objs_;
 
   util::IncrementalGraph graph_;
-  std::vector<std::size_t> completion_nodes_;  // ≺RT sparsification chain
+  /// ≺RT sparsification chain. Each entry is one t-completion's chain node;
+  /// the log is a deque so GC can drop the settled front (a node pops once
+  /// its completing transaction is retired; the back node — the one new
+  /// transactions link from — always stays).
+  struct CompletionEntry {
+    std::size_t node = 0;
+    bool completer_retired = false;
+  };
+  std::deque<CompletionEntry> completion_log_;
+  std::size_t completion_base_ = 0;  // seq of completion_log_.front()
+  /// (tix, start_index) in start order, lazily pruned: the front (skipping
+  /// finished or reused entries) is the earliest-started unfinished
+  /// transaction, whose start index is the GC live horizon H.
+  std::deque<std::pair<std::size_t, std::size_t>> open_txns_;
+  std::size_t gc_trigger_ = 0;
+  /// Versions written by retired writers that retained sealed reads still
+  /// reference: (obj, value) -> (install rank, referencing sealed reads).
+  /// The fallback tier reconstructs each as one synthetic committed writer
+  /// prepended to the retained events (in rank order); an entry dies with
+  /// its last sealed read.
+  struct SealedVersion {
+    std::uint64_t rank = 0;
+    std::size_t refs = 0;
+  };
+  std::map<std::pair<ObjId, Value>, SealedVersion> sealed_versions_;
+  TxnId max_txn_id_seen_ = 0;  // preamble ids are allocated above this
   /// Desired edges absent from the graph (insertion would have closed a
   /// cycle), with multiplicity. Non-empty => fast path suspended.
   std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> pending_;

@@ -6,11 +6,42 @@
 
 namespace duo::util {
 
+IncrementalGraph::Row::iterator IncrementalGraph::find_in(Row& row,
+                                                          std::size_t node) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), node,
+      [](const HalfEdge& e, std::size_t n) { return e.to < n; });
+  if (it == row.end() || it->to != node) return row.end();
+  return it;
+}
+
+IncrementalGraph::Row::const_iterator IncrementalGraph::find_in(
+    const Row& row, std::size_t node) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), node,
+      [](const HalfEdge& e, std::size_t n) { return e.to < n; });
+  if (it == row.end() || it->to != node) return row.end();
+  return it;
+}
+
 std::size_t IncrementalGraph::add_node() {
+  if (!free_.empty()) {
+    // Reuse the most recently retired slot, re-entering at the TOP of the
+    // order. The isolated node is consistent at any position, but keeping
+    // its stale (low) priority would make every future edge from an older
+    // node an order violation — a Pearce-Kelly reorder per insertion, with
+    // an affected region spanning the whole live graph. At the top, edges
+    // from existing nodes are already in order and insertion stays O(1).
+    const std::size_t id = free_.back();
+    free_.pop_back();
+    DUO_ASSERT(out_[id].empty() && in_[id].empty());
+    ord_[id] = next_ord_++;
+    return id;
+  }
   const std::size_t id = out_.size();
   out_.emplace_back();
   in_.emplace_back();
-  ord_.push_back(id);  // append at the end of the order: no edges yet
+  ord_.push_back(next_ord_++);  // the top of the order: no edges yet
   mark_.push_back(false);
   return id;
 }
@@ -33,8 +64,8 @@ bool IncrementalGraph::forward_reach(std::size_t from, std::size_t limit,
   while (!stack.empty()) {
     const std::size_t u = stack.back();
     stack.pop_back();
-    for (const auto& [v, count] : out_[u]) {
-      (void)count;
+    for (const HalfEdge& e : out_[u]) {
+      const std::size_t v = e.to;
       if (v == target) return false;
       if (mark_[v] || ord_[v] > limit) continue;
       mark_[v] = true;
@@ -55,8 +86,8 @@ void IncrementalGraph::backward_reach(std::size_t from, std::size_t limit,
   while (!stack.empty()) {
     const std::size_t u = stack.back();
     stack.pop_back();
-    for (const auto& [v, count] : in_[u]) {
-      (void)count;
+    for (const HalfEdge& e : in_[u]) {
+      const std::size_t v = e.to;
       if (mark_[v] || ord_[v] < limit) continue;
       mark_[v] = true;
       out.push_back(v);
@@ -68,10 +99,12 @@ void IncrementalGraph::backward_reach(std::size_t from, std::size_t limit,
 bool IncrementalGraph::add_edge(std::size_t a, std::size_t b) {
   DUO_EXPECTS(a < out_.size() && b < out_.size());
   if (a == b) return false;
-  if (const auto it = out_[a].find(b); it != out_[a].end()) {
+  if (const auto it = find_in(out_[a], b); it != out_[a].end()) {
     // Edge already present: acyclicity unchanged, just bump the refcount.
-    ++it->second;
-    ++in_[b].at(a);
+    ++it->count;
+    const auto rit = find_in(in_[b], a);
+    DUO_ASSERT(rit != in_[b].end());
+    ++rit->count;
     return true;
   }
   if (ord_[a] > ord_[b]) {
@@ -110,30 +143,64 @@ bool IncrementalGraph::add_edge(std::size_t a, std::size_t b) {
     for (const std::size_t v : delta_b) ord_[v] = slots[next++];
     for (const std::size_t v : delta_f) ord_[v] = slots[next++];
   }
-  out_[a].emplace(b, 1);
-  in_[b].emplace(a, 1);
+  const auto pos = std::lower_bound(
+      out_[a].begin(), out_[a].end(), b,
+      [](const HalfEdge& e, std::size_t n) { return e.to < n; });
+  out_[a].insert(pos, HalfEdge{b, 1});
+  const auto rpos = std::lower_bound(
+      in_[b].begin(), in_[b].end(), a,
+      [](const HalfEdge& e, std::size_t n) { return e.to < n; });
+  in_[b].insert(rpos, HalfEdge{a, 1});
   ++num_edges_;
   return true;
 }
 
 void IncrementalGraph::remove_edge(std::size_t a, std::size_t b) {
   DUO_EXPECTS(a < out_.size() && b < out_.size());
-  const auto it = out_[a].find(b);
+  const auto it = find_in(out_[a], b);
   DUO_EXPECTS(it != out_[a].end());
-  if (--it->second == 0) {
+  if (--it->count == 0) {
     out_[a].erase(it);
-    in_[b].erase(a);
+    const auto rit = find_in(in_[b], a);
+    DUO_ASSERT(rit != in_[b].end());
+    in_[b].erase(rit);
     --num_edges_;
     // The maintained order remains a valid topological order of the
     // smaller graph; nothing to recompute.
   } else {
-    --in_[b].at(a);
+    const auto rit = find_in(in_[b], a);
+    DUO_ASSERT(rit != in_[b].end());
+    --rit->count;
   }
+}
+
+std::size_t IncrementalGraph::retire_node(std::size_t n) {
+  DUO_EXPECTS(n < out_.size());
+  std::size_t removed = 0;
+  for (const HalfEdge& e : out_[n]) {
+    const auto rit = find_in(in_[e.to], n);
+    DUO_ASSERT(rit != in_[e.to].end());
+    in_[e.to].erase(rit);
+    ++removed;
+  }
+  for (const HalfEdge& e : in_[n]) {
+    const auto fit = find_in(out_[e.to], n);
+    DUO_ASSERT(fit != out_[e.to].end());
+    out_[e.to].erase(fit);
+    ++removed;
+  }
+  num_edges_ -= removed;
+  // Release the heap memory too: a reused slot regrows to its working-set
+  // degree, and retired slots must not pin peak-degree arrays forever.
+  Row().swap(out_[n]);
+  Row().swap(in_[n]);
+  free_.push_back(n);
+  return removed;
 }
 
 bool IncrementalGraph::has_edge(std::size_t a, std::size_t b) const {
   DUO_EXPECTS(a < out_.size() && b < out_.size());
-  return out_[a].contains(b);
+  return find_in(out_[a], b) != out_[a].end();
 }
 
 bool IncrementalGraph::reaches(std::size_t a, std::size_t b) {

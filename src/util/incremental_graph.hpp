@@ -22,18 +22,32 @@
 // Edges are reference-counted: the monitor derives the same pair from
 // independent rules (a real-time edge and a unique-writer edge may
 // coincide) and releases them independently.
+//
+// Adjacency is flat sorted vectors of (neighbor, refcount), not per-node
+// trees: the per-edge constant is the hot cost of the monitor's sharded
+// ingest path, degrees are small (a few edges per transaction), and a
+// binary search plus a short memmove beats a red-black tree at these sizes
+// while keeping neighbor iteration deterministic (sorted by id).
+//
+// Nodes can be retired (retire_node) once the caller guarantees no future
+// edge will name them — the monitor's settled-prefix GC retires a
+// transaction's node when it can no longer be referenced — and retired ids
+// are reused by later add_node calls, so long-running monitors hold
+// O(live nodes) rather than O(all nodes ever created).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace duo::util {
 
 class IncrementalGraph {
  public:
-  /// Adds an isolated node and returns its id (dense, starting at 0). New
-  /// nodes are appended at the end of the maintained topological order.
+  /// Adds a node and returns its id. Ids of retired nodes are reused
+  /// (most-recently-retired first); otherwise ids are dense, starting at 0.
+  /// A new node is isolated, so any position in the maintained topological
+  /// order is consistent; fresh ids are appended at the end of the order,
+  /// reused ids keep the retired node's old slot.
   std::size_t add_node();
 
   /// Preallocates per-node arrays for `nodes` nodes. Purely an
@@ -58,7 +72,21 @@ class IncrementalGraph {
   /// region, not the whole graph, and ord(a) > ord(b) is an O(1) "no".
   bool reaches(std::size_t a, std::size_t b);
 
+  /// Removes the node and every edge incident to it (regardless of
+  /// refcounts), and frees its id for reuse by add_node. Sound for cycle
+  /// detection only under the caller's guarantee that no future add_edge
+  /// will name this node: a node without future in-edges cannot lie on any
+  /// future cycle, so its edges impose no constraint the remaining graph
+  /// needs. Returns the number of distinct edges removed.
+  std::size_t retire_node(std::size_t n);
+
+  /// Node-array slots allocated (valid id range is [0, num_nodes()),
+  /// including retired slots awaiting reuse).
   std::size_t num_nodes() const noexcept { return out_.size(); }
+  /// Nodes currently alive (allocated minus retired).
+  std::size_t num_live_nodes() const noexcept {
+    return out_.size() - free_.size();
+  }
   /// Number of distinct present edges (ignoring reference counts).
   std::size_t num_edges() const noexcept { return num_edges_; }
 
@@ -67,6 +95,18 @@ class IncrementalGraph {
   std::size_t order_index(std::size_t node) const;
 
  private:
+  /// One adjacency entry: neighbor id + edge refcount. Rows are sorted by
+  /// `to`, so lookup is a binary search and iteration is deterministic.
+  struct HalfEdge {
+    std::size_t to;
+    std::uint32_t count;
+  };
+  using Row = std::vector<HalfEdge>;
+
+  /// Iterator to the entry for `node` in `row`, or end() if absent.
+  static Row::iterator find_in(Row& row, std::size_t node);
+  static Row::const_iterator find_in(const Row& row, std::size_t node);
+
   /// Forward DFS from `from`, visiting only nodes with ord <= `limit`.
   /// Returns false if `target` was reached (cycle); visited nodes are
   /// appended to `out`.
@@ -76,13 +116,12 @@ class IncrementalGraph {
   void backward_reach(std::size_t from, std::size_t limit,
                       std::vector<std::size_t>& out);
 
-  // Adjacency with per-edge reference counts. std::map keeps neighbor
-  // iteration deterministic; degrees are small (a few edges per
-  // transaction), so the tree overhead is irrelevant.
-  std::vector<std::map<std::size_t, std::uint32_t>> out_;
-  std::vector<std::map<std::size_t, std::uint32_t>> in_;
-  std::vector<std::size_t> ord_;  // node -> topological index
-  std::vector<bool> mark_;       // scratch for the DFS passes
+  std::vector<Row> out_;
+  std::vector<Row> in_;
+  std::vector<std::size_t> ord_;  // node -> topological priority (unique)
+  std::size_t next_ord_ = 0;      // every new/reused node enters at the top
+  std::vector<bool> mark_;        // scratch for the DFS passes
+  std::vector<std::size_t> free_;  // retired node ids awaiting reuse
   // Scratch buffers reused across add_edge/reaches calls. The online
   // monitor performs a handful of insertions per streamed event, so the
   // per-call allocations of the affected-region search were a measurable

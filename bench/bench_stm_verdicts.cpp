@@ -32,7 +32,7 @@ using duo::util::Rendezvous;
 /// write. Returns the du verdict of the recorded history.
 bool staged_round_du_opaque(Stm& stm, Recorder& rec, Value value) {
   Rendezvous rv;
-  std::thread reader([&] {
+  duo::util::ScopedThread reader([&] {
     auto tx = stm.begin();
     rv.signal(1);
     rv.await(2);
@@ -41,7 +41,7 @@ bool staged_round_du_opaque(Stm& stm, Recorder& rec, Value value) {
     if (a && b && !tx->finished()) tx->commit();
     rv.signal(3);
   });
-  std::thread writer([&] {
+  duo::util::ScopedThread writer([&] {
     rv.await(1);
     auto tx = stm.begin();
     if (tx->write(0, value)) {

@@ -13,13 +13,13 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <thread>
 
 #include "history/printer.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/tap.hpp"
 #include "stm/registry.hpp"
 #include "stm/workload.hpp"
+#include "util/threading.hpp"
 
 int main(int argc, char** argv) {
   using namespace duo;
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   opts.seed = 2026;
 
   std::atomic<bool> done{false};
-  std::thread workload([&] {
+  util::ScopedThread workload([&] {
     stm::run_random_mix(*stm, opts);
     done.store(true, std::memory_order_release);
   });

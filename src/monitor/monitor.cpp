@@ -15,6 +15,8 @@ using history::OpKind;
 OnlineMonitor::OnlineMonitor(const MonitorOptions& opts) : opts_(opts) {
   num_objects_ = std::max<ObjId>(opts_.num_objects, 0);
   gc_trigger_ = opts_.gc_retain_events;
+  num_shards_ = util::resolve_threads(opts_.shards);
+  shards_.resize(num_shards_);
 }
 
 // ---------------------------------------------------------------------------
@@ -22,37 +24,45 @@ OnlineMonitor::OnlineMonitor(const MonitorOptions& opts) : opts_(opts) {
 // are human-readable text, so events are numbered from 1 here; the
 // machine-facing first_violation() index is 0-based (see monitor.hpp).
 
-std::string OnlineMonitor::validate(const Event& e) const {
+std::string OnlineMonitor::fail_msg(const char* why, const Event& e) const {
+  // Built only on failure: the success path of validate() must not pay for
+  // an ostringstream per event (it used to, and it was a measurable slice
+  // of the per-event feed cost).
   std::ostringstream msg;
-  const auto fail = [&](const char* why) {
-    msg << why << " at event " << total_events_ + 1 << " ("
-        << history::to_string(e) << ")";
-    return msg.str();
-  };
-  if (e.txn < 0) return fail("negative transaction id");
+  msg << why << " at event " << total_events_ + 1 << " ("
+      << history::to_string(e) << ")";
+  return msg.str();
+}
+
+std::string OnlineMonitor::validate(const Event& e) const {
+  if (e.txn < 0) return fail_msg("negative transaction id", e);
   if (e.op == OpKind::kRead || e.op == OpKind::kWrite) {
-    if (e.obj < 0) return fail("object id out of range");
+    if (e.obj < 0) return fail_msg("object id out of range", e);
     if (opts_.num_objects >= 0 && e.obj >= opts_.num_objects)
-      return fail("object id out of range");
+      return fail_msg("object id out of range", e);
   }
   const auto it = tix_of_.find(e.txn);
   const Txn* t = it == tix_of_.end() ? nullptr : &txns_[it->second];
-  if (t != nullptr && t->finished) return fail("event after C/A response");
+  if (t != nullptr && t->finished)
+    return fail_msg("event after C/A response", e);
   if (e.is_invocation()) {
     if (t != nullptr && t->has_pending)
-      return fail("invocation while operation pending");
+      return fail_msg("invocation while operation pending", e);
     if (e.op == OpKind::kRead && t != nullptr &&
-        t->objects_read.contains(e.obj))
-      return fail("repeated read of same object (model assumes read-once)");
+        std::find(t->objects_read.begin(), t->objects_read.end(), e.obj) !=
+            t->objects_read.end())
+      return fail_msg("repeated read of same object (model assumes read-once)",
+                      e);
   } else {
     if (t == nullptr || !t->has_pending)
-      return fail("response without pending invocation");
-    if (t->pending_inv.op != e.op) return fail("response kind mismatch");
+      return fail_msg("response without pending invocation", e);
+    if (t->pending_inv.op != e.op)
+      return fail_msg("response kind mismatch", e);
     if ((e.op == OpKind::kRead || e.op == OpKind::kWrite) &&
         t->pending_inv.obj != e.obj)
-      return fail("response object mismatch");
+      return fail_msg("response object mismatch", e);
     if (e.op == OpKind::kTryAbort && !e.aborted)
-      return fail("tryA must respond with A");
+      return fail_msg("tryA must respond with A", e);
   }
   return std::string();
 }
@@ -64,11 +74,11 @@ std::size_t OnlineMonitor::txn_index(TxnId id) {
   if (!free_txns_.empty()) {
     k = free_txns_.back();
     free_txns_.pop_back();
+    txns_[k].reset();
   } else {
     k = txns_.size();
     txns_.emplace_back();
   }
-  txns_[k] = Txn{};
   txns_[k].id = id;
   txns_[k].node = graph_.add_node();
   txns_[k].start_index = total_events_;  // the current event's index
@@ -81,11 +91,12 @@ std::size_t OnlineMonitor::txn_index(TxnId id) {
 // ---------------------------------------------------------------------------
 // Helpers
 
-void OnlineMonitor::latch(std::string reason, bool by_fast_path) {
-  DUO_ASSERT(total_events_ > 0);
+void OnlineMonitor::latch_at(std::size_t index, std::string reason,
+                             bool by_fast_path) {
+  DUO_ASSERT(index < total_events_);
   verdict_ = Verdict::kNo;
   stats_.latched_by_fast_path = by_fast_path;
-  first_violation_ = total_events_ - 1;  // 0-based: the current event
+  first_violation_ = index;
   explanation_ = std::move(reason);
 }
 
@@ -103,17 +114,19 @@ std::string OnlineMonitor::read_desc(const Read& r) const {
 }
 
 // ---------------------------------------------------------------------------
-// Edge bookkeeping. Every edge the maintained Tier-A constraint graph wants
-// goes through link/unlink, so the graph's edge multiset equals the desired
-// multiset exactly — except for edges parked in pending_ because inserting
-// them would have closed a cycle. pending_ non-empty suspends the fast path
-// (the graph then under-approximates the constraints); removals re-try the
-// parked edges, and the fast path resumes when the set drains.
+// Edge bookkeeping (the apply phase and GC). Every edge the maintained
+// Tier-A constraint graph wants goes through link/unlink, so the graph's
+// edge multiset equals the desired multiset exactly — except for edges
+// parked in pending_ because inserting them would have closed a cycle.
+// pending_ non-empty suspends the fast path (the graph then
+// under-approximates the constraints); removals re-try the parked edges,
+// and the fast path resumes when the set drains.
 
 void OnlineMonitor::link(std::size_t a, std::size_t b) {
   DUO_ASSERT(a != b);
   if (graph_.add_edge(a, b)) {
     ++stats_.edges_added;
+    if (pending_.empty()) return;  // the hot case: no parked edges at all
     const auto it = pending_.find({a, b});
     if (it != pending_.end()) {
       // Identical parked references ride along: once one (a, b) edge is in,
@@ -132,14 +145,16 @@ void OnlineMonitor::link(std::size_t a, std::size_t b) {
 }
 
 void OnlineMonitor::unlink(std::size_t a, std::size_t b) {
-  const auto it = pending_.find({a, b});
-  if (it != pending_.end()) {
-    if (--it->second == 0) pending_.erase(it);
-    return;
+  if (!pending_.empty()) {
+    const auto it = pending_.find({a, b});
+    if (it != pending_.end()) {
+      if (--it->second == 0) pending_.erase(it);
+      return;
+    }
   }
   graph_.remove_edge(a, b);
   ++stats_.edges_removed;
-  removed_this_feed_ = true;
+  removed_this_event_ = true;
 }
 
 void OnlineMonitor::retry_pending() {
@@ -165,223 +180,162 @@ void OnlineMonitor::retry_pending() {
 }
 
 // ---------------------------------------------------------------------------
-// Version chains (canonical install order, exactly the batch engine's
-// Tier A). A chain holds the must-commit writers of one object — committed
-// transactions plus commit-pending writers somebody currently reads from —
-// sorted by install key. Insertions land mid-chain only when a
-// commit-pending writer gains its first reader after later writers already
-// entered; commits move a member to the end (its key becomes the tryC
-// response index, the maximum so far). Each splice fixes the consecutive-
-// writer edges, the anti-dependency targets of reads whose successor the
-// splice may have changed (only writers within two positions of the splice
-// point can be affected, since the skip rule looks one past the immediate
-// successor), and the initial-read membership edges.
+// Prescan (phase 1). Runs the serial monitor's transaction-global logic —
+// validation, status bookkeeping, node allocation, reads-from candidate
+// resolution decisions, the event-local latches — and compiles the batch
+// into the slot list. Per-object work (chain maintenance, anti-dependency
+// derivation) is not executed here; it is emitted as shard tasks carrying
+// everything the shard needs as values (install keys, node ids), because
+// the coordinator's transaction table keeps mutating through the batch
+// while a task must see the state as of its point in the serial order.
+//
+// Graph node allocation happens here, not in apply: add_node neither reads
+// nor perturbs edge state (new nodes enter isolated at the top of the
+// order, and the priority counter advances only on allocation), so
+// allocating a batch's nodes before applying the batch's edges yields the
+// same node ids and the same Pearce-Kelly behavior as the strict
+// interleaving — which is what keeps verdicts independent of batch size.
 
-std::size_t OnlineMonitor::chain_pos(const ObjState& s, std::size_t tix) const {
-  const std::uint64_t key = txns_[tix].install_key;
-  const auto it = std::lower_bound(
-      s.chain.begin(), s.chain.end(), key,
-      [this](std::size_t t, std::uint64_t k) {
-        return txns_[t].install_key < k;
-      });
-  DUO_ASSERT(it != s.chain.end() && *it == tix);
-  return static_cast<std::size_t>(it - s.chain.begin());
+OnlineMonitor::Slot& OnlineMonitor::emit(Slot::Kind kind) {
+  if (slots_used_ == slots_.size()) slots_.emplace_back();
+  Slot& s = slots_[slots_used_++];
+  s.kind = kind;
+  s.ops.clear();
+  s.splices = 0;
+  s.frozen = false;
+  s.latch = false;
+  return s;
 }
 
-std::size_t OnlineMonitor::succ_with_skip(const ObjState& s, std::size_t wpos,
-                                          std::size_t reader) const {
-  std::size_t succ = wpos + 1;
-  if (succ < s.chain.size() && s.chain[succ] == reader) ++succ;
-  return succ < s.chain.size() ? s.chain[succ] : kNone;
+OnlineMonitor::Slot& OnlineMonitor::emit_task(Slot::Kind kind, ObjId x) {
+  Slot& s = emit(kind);
+  s.obj = x;
+  ++shard_task_count_;
+  return s;
 }
 
-void OnlineMonitor::retarget_read(std::size_t rid) {
-  Read& r = reads_[rid];
-  DUO_ASSERT(r.writer != kNone);
-  const ObjState& s = objs_.at(r.obj);
-  const std::size_t target =
-      succ_with_skip(s, chain_pos(s, r.writer), r.reader);
-  if (target == r.antidep) return;
-  if (r.antidep != kNone) {
-    unlink(txns_[r.reader].node, txns_[r.antidep].node);
-    --txns_[r.antidep].antidep_in;
-  }
-  r.antidep = target;
-  if (target != kNone) {
-    link(txns_[r.reader].node, txns_[target].node);
-    ++txns_[target].antidep_in;
-  }
+void OnlineMonitor::emit_direct(Slot::Kind kind, std::size_t a,
+                                std::size_t b) {
+  Slot& s = emit(kind);
+  s.a = a;
+  s.b = b;
 }
 
-void OnlineMonitor::retarget_around(ObjId x, std::size_t pos) {
-  const ObjState& s = objs_.at(x);
-  for (std::size_t back = 0; back < 3; ++back) {
-    if (pos < back) break;
-    const std::size_t q = pos - back;
-    if (q >= s.chain.size()) continue;  // pos may point one past the end
-    // Snapshot: retargeting edits other reads' state, never this list's
-    // membership (rf_reads of chain[q] changes only on resolve/unresolve).
-    for (const std::size_t rid : txns_[s.chain[q]].rf_reads)
-      if (reads_[rid].obj == x) retarget_read(rid);
-  }
+void OnlineMonitor::pre_latch(std::string reason) {
+  if (pre_latched_) return;
+  pre_latched_ = true;
+  pre_latch_reason_ = std::move(reason);
 }
 
-void OnlineMonitor::chain_insert(ObjId x, std::size_t tix) {
-  ObjState& s = obj_state(x);
-  auto& chain = s.chain;
-  const std::uint64_t key = txns_[tix].install_key;
-  const auto it = std::lower_bound(
-      chain.begin(), chain.end(), key,
-      [this](std::size_t t, std::uint64_t k) {
-        return txns_[t].install_key < k;
-      });
-  const auto pos = static_cast<std::size_t>(it - chain.begin());
-  const std::size_t pred = pos > 0 ? chain[pos - 1] : kNone;
-  const std::size_t succ = pos < chain.size() ? chain[pos] : kNone;
-  if (succ != kNone) ++stats_.chain_splices;
-  if (pred != kNone && succ != kNone)
-    unlink(txns_[pred].node, txns_[succ].node);
-  if (pred != kNone) link(txns_[pred].node, txns_[tix].node);
-  if (succ != kNone) link(txns_[tix].node, txns_[succ].node);
-  chain.insert(it, tix);
-  retarget_around(x, pos);
-  for (const std::size_t rid : s.initial_reads) {
-    const std::size_t reader = reads_[rid].reader;
-    if (reader != tix) link(txns_[reader].node, txns_[tix].node);
-  }
-}
-
-void OnlineMonitor::chain_remove(ObjId x, std::size_t tix) {
-  ObjState& s = obj_state(x);
-  auto& chain = s.chain;
-  const std::size_t pos = chain_pos(s, tix);
-  ++stats_.chain_splices;
-  const std::size_t pred = pos > 0 ? chain[pos - 1] : kNone;
-  const std::size_t succ = pos + 1 < chain.size() ? chain[pos + 1] : kNone;
-  if (pred != kNone) unlink(txns_[pred].node, txns_[tix].node);
-  if (succ != kNone) unlink(txns_[tix].node, txns_[succ].node);
-  if (pred != kNone && succ != kNone)
-    link(txns_[pred].node, txns_[succ].node);
-  chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(pos));
-  retarget_around(x, pos);
-  for (const std::size_t rid : s.initial_reads) {
-    const std::size_t reader = reads_[rid].reader;
-    if (reader != tix) unlink(txns_[reader].node, txns_[tix].node);
-  }
-}
-
-void OnlineMonitor::enter_chains(std::size_t tix) {
+void OnlineMonitor::pre_enter_chains(std::size_t tix) {
   Txn& t = txns_[tix];
   DUO_ASSERT(!t.in_chain);
   t.in_chain = true;
   for (const auto& [x, v] : t.final_writes) {
     (void)v;
-    chain_insert(x, tix);
+    Slot& s = emit_task(Slot::Kind::kChainInsert, x);
+    s.tix = tix;
+    s.node = t.node;
+    s.key = t.install_key;
   }
 }
 
-void OnlineMonitor::leave_chains(std::size_t tix) {
+void OnlineMonitor::pre_leave_chains(std::size_t tix) {
   Txn& t = txns_[tix];
   DUO_ASSERT(t.in_chain);
   for (const auto& [x, v] : t.final_writes) {
     (void)v;
-    chain_remove(x, tix);
+    Slot& s = emit_task(Slot::Kind::kChainRemove, x);
+    s.tix = tix;
+    s.node = t.node;
+    s.key = t.install_key;
   }
   t.in_chain = false;
 }
 
-// ---------------------------------------------------------------------------
-// Read resolution. Under unique writes an external non-initial read has at
-// most one candidate writer — the unique can-commit transaction whose final
-// write to the object is the value read — so reads-from is exact: resolving
-// adds the reads-from edge, pulls the writer into the chains (the forced
-// completion commits read-from writers), and adds the anti-dependency edge.
-// Two event-local rejections latch immediately, mirroring the batch
-// engine's fast rejects on the same prefix: no candidate at all, and no
-// candidate whose tryC invocation precedes the read's response (the paper's
-// Def. 3(3) deferred-update condition, collapsed to a timing predicate).
-
-void OnlineMonitor::resolve_read(std::size_t rid, std::size_t w) {
-  Read& r = reads_[rid];
-  DUO_ASSERT(r.writer == kNone);
-  r.writer = w;
+void OnlineMonitor::pre_resolve_read(std::size_t rid, std::size_t w) {
+  {
+    Read& r = reads_[rid];
+    DUO_ASSERT(r.writer == kNone);
+    r.writer = w;
+  }
   Txn& wt = txns_[w];
   if (!wt.in_chain) {
     DUO_ASSERT(wt.tryc_inv.has_value());
     wt.install_key = *wt.tryc_inv;  // commit-pending: install at tryC inv
-    enter_chains(w);
+    pre_enter_chains(w);
   }
   wt.rf_reads.push_back(rid);
-  link(wt.node, txns_[r.reader].node);
-  const ObjState& s = objs_.at(r.obj);
-  const std::size_t target =
-      succ_with_skip(s, chain_pos(s, w), r.reader);
-  if (target != kNone) {
-    r.antidep = target;
-    link(txns_[r.reader].node, txns_[target].node);
-    ++txns_[target].antidep_in;
-  }
+  const Read& r = reads_[rid];
+  emit_direct(Slot::Kind::kDirectLink, wt.node, txns_[r.reader].node);
+  Slot& s = emit_task(Slot::Kind::kResolve, r.obj);
+  s.rid = rid;
+  s.reader = r.reader;
+  s.reader_node = txns_[r.reader].node;
+  s.writer = w;
+  s.key = wt.install_key;
 }
 
-void OnlineMonitor::unresolve_read(std::size_t rid) {
+void OnlineMonitor::pre_unresolve_read(std::size_t rid) {
   Read& r = reads_[rid];
   DUO_ASSERT(r.writer != kNone);
   const std::size_t w = r.writer;
   Txn& wt = txns_[w];
-  unlink(wt.node, txns_[r.reader].node);
-  if (r.antidep != kNone) {
-    unlink(txns_[r.reader].node, txns_[r.antidep].node);
-    --txns_[r.antidep].antidep_in;
-    r.antidep = kNone;
+  emit_direct(Slot::Kind::kDirectUnlink, wt.node, txns_[r.reader].node);
+  {
+    Slot& s = emit_task(Slot::Kind::kUnresolve, r.obj);
+    s.rid = rid;
+    s.reader = r.reader;
+    s.reader_node = txns_[r.reader].node;
+    s.writer = w;
   }
   auto& rf = wt.rf_reads;
   rf.erase(std::find(rf.begin(), rf.end(), rid));
   r.writer = kNone;
   if (rf.empty() && wt.status != TxnStatus::kCommitted && wt.in_chain)
-    leave_chains(w);
+    pre_leave_chains(w);
 }
 
-void OnlineMonitor::reject_or_resolve(std::size_t rid) {
+void OnlineMonitor::pre_reject_or_resolve(std::size_t rid) {
   Read& r = reads_[rid];
   DUO_ASSERT(!r.is_initial);
   if (r.cands.empty()) {
-    latch(read_desc(r) +
-          ": no transaction that can commit writes this value");
+    pre_latch(read_desc(r) +
+              ": no transaction that can commit writes this value");
     return;
   }
   if (r.local_count == 0) {
-    latch(read_desc(r) +
-          ": no candidate writer invoked tryC before the read's response "
-          "(deferred-update violation)");
+    pre_latch(read_desc(r) +
+              ": no candidate writer invoked tryC before the read's response "
+              "(deferred-update violation)");
     return;
   }
   if (r.cands.size() == 1 && r.writer == kNone)
-    resolve_read(rid, r.cands.front());
+    pre_resolve_read(rid, r.cands.front());
 }
 
-// ---------------------------------------------------------------------------
-// Per-event constraint maintenance
-
-void OnlineMonitor::on_new_transaction(std::size_t tix) {
+void OnlineMonitor::pre_new_transaction(std::size_t tix) {
   // Real-time order, sparsified: a ≺RT b iff a t-completes before b's first
   // event. Each completion appends a fresh chain node c_i with edges
   // completer -> c_i and c_{i-1} -> c_i; a new transaction gets one edge
   // from the latest chain node, inheriting every earlier completion
   // transitively. Edges into a fresh node can never close a cycle.
   if (!completion_log_.empty())
-    link(completion_log_.back().node, txns_[tix].node);
+    emit_direct(Slot::Kind::kDirectLink, completion_log_.back().node,
+                txns_[tix].node);
 }
 
-void OnlineMonitor::on_t_complete(std::size_t tix) {
+void OnlineMonitor::pre_t_complete(std::size_t tix) {
   const std::size_t c = graph_.add_node();
-  if (!completion_log_.empty()) link(completion_log_.back().node, c);
-  link(txns_[tix].node, c);
+  if (!completion_log_.empty())
+    emit_direct(Slot::Kind::kDirectLink, completion_log_.back().node, c);
+  emit_direct(Slot::Kind::kDirectLink, txns_[tix].node, c);
   txns_[tix].completion_seq = completion_base_ + completion_log_.size();
   completion_log_.push_back(CompletionEntry{c, false});
 }
 
-void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
-                                     std::size_t resp_index) {
+void OnlineMonitor::pre_read_response(std::size_t tix, ObjId x, Value v,
+                                      std::size_t resp_index) {
   if (const auto own = final_write_value(tix, x)) {
     // Internal read: it must return the transaction's own latest prior
     // write in *every* equivalent t-sequential history, so a mismatch
@@ -390,7 +344,7 @@ void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
       std::ostringstream msg;
       msg << "internal read" << txns_[tix].id << "(X" << x << ")=" << v
           << " must return own write " << *own;
-      latch(msg.str());
+      pre_latch(msg.str());
     }
     return;
   }
@@ -399,7 +353,7 @@ void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
   if (!free_reads_.empty()) {
     rid = free_reads_.back();
     free_reads_.pop_back();
-    reads_[rid] = Read{};
+    reads_[rid].reset();
   } else {
     rid = reads_.size();
     reads_.push_back(Read{});
@@ -417,10 +371,10 @@ void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
     // chain writer of the object. A can-commit writer of the initial value
     // would put the prefix outside the unique-writes class; that case is
     // carried by nonuw_ and decided by the fallback checks.
-    ObjState& s = obj_state(x);
-    s.initial_reads.push_back(rid);
-    for (const std::size_t m : s.chain)
-      if (m != tix) link(txns_[tix].node, txns_[m].node);
+    Slot& s = emit_task(Slot::Kind::kInitialRead, x);
+    s.rid = rid;
+    s.reader = tix;
+    s.reader_node = txns_[tix].node;
     return;
   }
 
@@ -433,10 +387,10 @@ void OnlineMonitor::on_read_response(std::size_t tix, ObjId x, Value v,
       if (*txns_[w].tryc_inv < resp_index) ++r.local_count;
     }
   }
-  reject_or_resolve(rid);
+  pre_reject_or_resolve(rid);
 }
 
-void OnlineMonitor::on_tryc_invoked(std::size_t tix) {
+void OnlineMonitor::pre_tryc_invoked(std::size_t tix) {
   // The transaction becomes a can-commit candidate writer for every value
   // in its (now frozen) write set. Its tryC invocation is the latest
   // event, so it never joins a read's *local* candidate set — but a second
@@ -453,24 +407,24 @@ void OnlineMonitor::on_tryc_invoked(std::size_t tix) {
       Read& r = reads_[rid];
       if (r.reader == tix) continue;
       r.cands.push_back(tix);
-      if (r.writer != kNone && r.cands.size() >= 2) unresolve_read(rid);
+      if (r.writer != kNone && r.cands.size() >= 2) pre_unresolve_read(rid);
     }
   }
 }
 
-void OnlineMonitor::on_committed(std::size_t tix, std::size_t resp_index) {
+void OnlineMonitor::pre_committed(std::size_t tix, std::size_t resp_index) {
   // The install key becomes the tryC response index — the maximum so far —
   // so a member already in the chains (it was read from while pending)
   // moves to the end, and a fresh member appends. Both shapes are the
   // no-op/append fast case for recorded runs, where the canonical order is
   // the order the STM actually installed.
   Txn& t = txns_[tix];
-  if (t.in_chain) leave_chains(tix);
+  if (t.in_chain) pre_leave_chains(tix);
   t.install_key = resp_index;
-  enter_chains(tix);
+  pre_enter_chains(tix);
 }
 
-void OnlineMonitor::on_aborted(std::size_t tix, bool was_commit_pending) {
+void OnlineMonitor::pre_aborted(std::size_t tix, bool was_commit_pending) {
   if (!was_commit_pending) return;
   for (const auto& [x, v] : txns_[tix].final_writes) {
     if (v == 0) --nonuw_;
@@ -482,12 +436,12 @@ void OnlineMonitor::on_aborted(std::size_t tix, bool was_commit_pending) {
     for (const std::size_t rid : it->second) {
       Read& r = reads_[rid];
       if (r.reader == tix) continue;
-      if (r.writer == tix) unresolve_read(rid);
+      if (r.writer == tix) pre_unresolve_read(rid);
       r.cands.erase(std::find(r.cands.begin(), r.cands.end(), tix));
       DUO_ASSERT(txns_[tix].tryc_inv.has_value());
       if (*txns_[tix].tryc_inv < r.resp_index) --r.local_count;
-      reject_or_resolve(rid);
-      if (latched()) return;
+      pre_reject_or_resolve(rid);
+      if (pre_latched_) return;
     }
   }
   // Every read resolved to this writer just lost its only candidate (and
@@ -496,14 +450,359 @@ void OnlineMonitor::on_aborted(std::size_t tix, bool was_commit_pending) {
   DUO_ASSERT(!txns_[tix].in_chain);
 }
 
+std::size_t OnlineMonitor::prescan(const Event* events, std::size_t n,
+                                   std::string& error) {
+  // Latched prefixes stay latched (prefix closure); only the validation
+  // state keeps advancing so malformed suffixes are still diagnosed.
+  const bool frozen = latched();
+  std::size_t prescanned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = events[i];
+    if (std::string err = validate(e); !err.empty()) {
+      error = std::move(err);
+      break;
+    }
+    if ((e.op == OpKind::kRead || e.op == OpKind::kWrite) &&
+        e.obj >= num_objects_)
+      num_objects_ = e.obj + 1;
+
+    const bool is_new_txn = !tix_of_.contains(e.txn);
+    const std::size_t k = txn_index(e.txn);  // reads total_events_
+    const std::size_t index = total_events_;
+    ++total_events_;
+
+    if (!frozen && is_new_txn) pre_new_transaction(k);
+
+    Txn& t = txns_[k];
+    if (e.is_invocation()) {
+      t.has_pending = true;
+      t.pending_inv = e;
+      if (e.op == OpKind::kRead) t.objects_read.push_back(e.obj);
+      if (e.op == OpKind::kTryCommit) {
+        t.tryc_inv = index;
+        t.status = TxnStatus::kCommitPending;
+        if (!frozen) pre_tryc_invoked(k);
+      }
+    } else {
+      const Event inv = t.pending_inv;
+      t.has_pending = false;
+      if (e.aborted || e.op == OpKind::kTryCommit) {
+        t.finished = true;
+        t.complete_index = index;
+      }
+      if (e.aborted) {
+        const bool was_commit_pending = t.status == TxnStatus::kCommitPending;
+        t.status = TxnStatus::kAborted;
+        if (!frozen) {
+          pre_aborted(k, was_commit_pending);
+          if (!pre_latched_) pre_t_complete(k);
+        }
+      } else {
+        switch (e.op) {
+          case OpKind::kRead:
+            if (!frozen) pre_read_response(k, e.obj, e.value, index);
+            break;
+          case OpKind::kWrite: {
+            // Record the final write value. The transaction is necessarily
+            // still running here, so its writes are invisible to every
+            // constraint until its tryC invocation freezes the write set.
+            bool found = false;
+            for (auto& [obj, v] : t.final_writes)
+              if (obj == e.obj) {
+                v = inv.value;
+                found = true;
+              }
+            if (!found) t.final_writes.emplace_back(e.obj, inv.value);
+            break;
+          }
+          case OpKind::kTryCommit:
+            t.status = TxnStatus::kCommitted;
+            if (!frozen) {
+              pre_committed(k, index);
+              pre_t_complete(k);
+            }
+            break;
+          case OpKind::kTryAbort:
+            DUO_UNREACHABLE("tryA response is always aborted (validated)");
+        }
+      }
+    }
+
+    Slot& b = emit(Slot::Kind::kBoundary);
+    b.index = index;
+    b.event_pos = i;
+    b.nonuw = nonuw_;
+    b.num_objects = num_objects_;
+    b.max_txn_id = max_txn_id_seen_;
+    b.frozen = frozen;
+    b.latch = pre_latched_;
+    if (pre_latched_) b.latch_reason = std::move(pre_latch_reason_);
+    prescanned = i + 1;
+    // Stop compiling after a latching event: the latch is terminal, so the
+    // tail of the batch is covered by prefix closure and never consumed.
+    if (pre_latched_) break;
+  }
+  return prescanned;
+}
+
+// ---------------------------------------------------------------------------
+// Derive (phase 2). Each shard walks the slot list in order and executes
+// the per-object tasks it owns against its chains, initial-read lists and
+// per-object resolved-read lists, recording each task's graph effects as
+// ops. Everything a task reads is either frozen for the whole phase (the
+// transaction table — prescan is done, GC only runs between batches), a
+// task payload copied at emission time (install keys), or shard-owned
+// sequential state (chains, rf lists, Read::antidep) — so shards never
+// synchronize, and the op list each task produces is a pure function of
+// the slot list, independent of shard count.
+
+std::size_t OnlineMonitor::chain_lower_bound(
+    const std::vector<ChainEntry>& chain, std::uint64_t key) {
+  const auto it = std::lower_bound(
+      chain.begin(), chain.end(), key,
+      [](const ChainEntry& m, std::uint64_t k) { return m.key < k; });
+  return static_cast<std::size_t>(it - chain.begin());
+}
+
+std::size_t OnlineMonitor::chain_find(const std::vector<ChainEntry>& chain,
+                                      std::uint64_t key, std::size_t tix) {
+  const std::size_t pos = chain_lower_bound(chain, key);
+  DUO_ASSERT(pos < chain.size() && chain[pos].tix == tix);
+  return pos;
+}
+
+void OnlineMonitor::derive_shard(std::size_t shard) {
+  ShardState& st = shards_[shard];
+  for (std::size_t i = 0; i < slots_used_; ++i) {
+    Slot& s = slots_[i];
+    if (!is_shard_task(s.kind) || shard_of(s.obj) != shard) continue;
+    derive_slot(st.objs[s.obj], s);
+  }
+}
+
+void OnlineMonitor::derive_slot(ObjShard& os, Slot& s) {
+  switch (s.kind) {
+    case Slot::Kind::kChainInsert:
+      derive_chain_insert(os, s);
+      break;
+    case Slot::Kind::kChainRemove:
+      derive_chain_remove(os, s);
+      break;
+    case Slot::Kind::kResolve:
+      derive_resolve(os, s);
+      break;
+    case Slot::Kind::kUnresolve:
+      derive_unresolve(os, s);
+      break;
+    case Slot::Kind::kInitialRead:
+      derive_initial_read(os, s);
+      break;
+    default:
+      DUO_UNREACHABLE("not a shard task");
+  }
+}
+
+// Anti-dependency retarget: point the read's edge at the first chain
+// successor of its writer (position wpos), skipping the reader itself. The
+// skip looks one past the immediate successor, which is why splices only
+// retarget reads of writers within two positions of the splice point.
+
+void OnlineMonitor::derive_retarget_read(const ObjShard& os, Slot& out,
+                                         std::size_t rid, std::size_t wpos) {
+  Read& r = reads_[rid];
+  std::size_t succ = wpos + 1;
+  if (succ < os.chain.size() && os.chain[succ].tix == r.reader) ++succ;
+  const bool has_target = succ < os.chain.size();
+  const std::size_t target = has_target ? os.chain[succ].tix : kNone;
+  if (target == r.antidep) return;
+  const std::size_t reader_node = txns_[r.reader].node;
+  if (r.antidep != kNone) {
+    out.ops.push_back(
+        Op{Op::Kind::kUnlink, 0, reader_node, txns_[r.antidep].node});
+    out.ops.push_back(Op{Op::Kind::kAntidepIn, -1, r.antidep, 0});
+  }
+  r.antidep = target;
+  if (has_target) {
+    out.ops.push_back(
+        Op{Op::Kind::kLink, 0, reader_node, os.chain[succ].node});
+    out.ops.push_back(Op{Op::Kind::kAntidepIn, +1, target, 0});
+  }
+}
+
+void OnlineMonitor::derive_retarget_around(const ObjShard& os, Slot& out,
+                                           std::size_t pos) {
+  for (std::size_t back = 0; back < 3; ++back) {
+    if (pos < back) break;
+    const std::size_t q = pos - back;
+    if (q >= os.chain.size()) continue;  // pos may point one past the end
+    const auto it = os.rf.find(os.chain[q].tix);
+    if (it == os.rf.end()) continue;
+    // Snapshot semantics as in the serial monitor: retargeting edits other
+    // reads' targets, never this list's membership.
+    for (const std::size_t rid : it->second)
+      derive_retarget_read(os, out, rid, q);
+  }
+}
+
+void OnlineMonitor::derive_chain_insert(ObjShard& os, Slot& s) {
+  auto& chain = os.chain;
+  const std::size_t pos = chain_lower_bound(chain, s.key);
+  const bool has_pred = pos > 0;
+  const bool has_succ = pos < chain.size();
+  const std::size_t pred_node = has_pred ? chain[pos - 1].node : 0;
+  const std::size_t succ_node = has_succ ? chain[pos].node : 0;
+  if (has_succ) ++s.splices;
+  if (has_pred && has_succ)
+    s.ops.push_back(Op{Op::Kind::kUnlink, 0, pred_node, succ_node});
+  if (has_pred) s.ops.push_back(Op{Op::Kind::kLink, 0, pred_node, s.node});
+  if (has_succ) s.ops.push_back(Op{Op::Kind::kLink, 0, s.node, succ_node});
+  chain.insert(chain.begin() + static_cast<std::ptrdiff_t>(pos),
+               ChainEntry{s.key, s.tix, s.node});
+  derive_retarget_around(os, s, pos);
+  for (const InitialRead& ir : os.initial_reads)
+    if (ir.reader != s.tix)
+      s.ops.push_back(Op{Op::Kind::kLink, 0, ir.reader_node, s.node});
+}
+
+void OnlineMonitor::derive_chain_remove(ObjShard& os, Slot& s) {
+  auto& chain = os.chain;
+  const std::size_t pos = chain_find(chain, s.key, s.tix);
+  ++s.splices;
+  const bool has_pred = pos > 0;
+  const bool has_succ = pos + 1 < chain.size();
+  const std::size_t pred_node = has_pred ? chain[pos - 1].node : 0;
+  const std::size_t succ_node = has_succ ? chain[pos + 1].node : 0;
+  if (has_pred) s.ops.push_back(Op{Op::Kind::kUnlink, 0, pred_node, s.node});
+  if (has_succ) s.ops.push_back(Op{Op::Kind::kUnlink, 0, s.node, succ_node});
+  if (has_pred && has_succ)
+    s.ops.push_back(Op{Op::Kind::kLink, 0, pred_node, succ_node});
+  chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(pos));
+  derive_retarget_around(os, s, pos);
+  for (const InitialRead& ir : os.initial_reads)
+    if (ir.reader != s.tix)
+      s.ops.push_back(Op{Op::Kind::kUnlink, 0, ir.reader_node, s.node});
+}
+
+void OnlineMonitor::derive_resolve(ObjShard& os, Slot& s) {
+  os.rf[s.writer].push_back(s.rid);
+  const std::size_t wpos = chain_find(os.chain, s.key, s.writer);
+  Read& r = reads_[s.rid];
+  std::size_t succ = wpos + 1;
+  if (succ < os.chain.size() && os.chain[succ].tix == s.reader) ++succ;
+  if (succ < os.chain.size()) {
+    r.antidep = os.chain[succ].tix;
+    s.ops.push_back(
+        Op{Op::Kind::kLink, 0, s.reader_node, os.chain[succ].node});
+    s.ops.push_back(Op{Op::Kind::kAntidepIn, +1, os.chain[succ].tix, 0});
+  }
+}
+
+void OnlineMonitor::derive_unresolve(ObjShard& os, Slot& s) {
+  const auto it = os.rf.find(s.writer);
+  DUO_ASSERT(it != os.rf.end());
+  auto& lst = it->second;
+  lst.erase(std::find(lst.begin(), lst.end(), s.rid));
+  if (lst.empty()) os.rf.erase(it);
+  Read& r = reads_[s.rid];
+  if (r.antidep != kNone) {
+    s.ops.push_back(
+        Op{Op::Kind::kUnlink, 0, s.reader_node, txns_[r.antidep].node});
+    s.ops.push_back(Op{Op::Kind::kAntidepIn, -1, r.antidep, 0});
+    r.antidep = kNone;
+  }
+}
+
+void OnlineMonitor::derive_initial_read(ObjShard& os, Slot& s) {
+  os.initial_reads.push_back(InitialRead{s.rid, s.reader, s.reader_node});
+  for (const ChainEntry& m : os.chain)
+    if (m.tix != s.reader)
+      s.ops.push_back(Op{Op::Kind::kLink, 0, s.reader_node, m.node});
+}
+
+// ---------------------------------------------------------------------------
+// Apply (phase 3). Replays the slot list in order through the single
+// Pearce-Kelly graph: shard-task ops and direct edges reproduce the exact
+// link/unlink sequence the serial monitor would have executed event by
+// event, and each boundary runs the per-event verdict step against its
+// prescan snapshots. The one divergence from strict per-event feeding is
+// intentional: a fallback check that latches mid-batch stops consumption
+// at that event (later events' prescan bookkeeping is already committed,
+// which is invisible — the latch is terminal and callers stop feeding).
+
+std::size_t OnlineMonitor::apply_slots(const Event* events) {
+  std::size_t consumed = 0;
+  for (std::size_t i = 0; i < slots_used_; ++i) {
+    Slot& s = slots_[i];
+    switch (s.kind) {
+      case Slot::Kind::kDirectLink:
+        link(s.a, s.b);
+        break;
+      case Slot::Kind::kDirectUnlink:
+        unlink(s.a, s.b);
+        break;
+      case Slot::Kind::kBoundary: {
+        events_.push_back(events[s.event_pos]);
+        ++stats_.events;
+        consumed = s.event_pos + 1;
+        if (s.frozen) {
+          removed_this_event_ = false;
+          break;
+        }
+        if (s.latch) {
+          // Prescan truncated the batch here, so this is the last slot.
+          latch_at(s.index, std::move(s.latch_reason), /*by_fast_path=*/true);
+          removed_this_event_ = false;
+          break;
+        }
+        if (removed_this_event_ && !pending_.empty()) retry_pending();
+        removed_this_event_ = false;
+        if (pending_.empty() && s.nonuw == 0) {
+          // The maintained graph is exactly the batch engine's Tier-A
+          // constraint set for this prefix, and it is acyclic (every
+          // desired edge is in): any topological order of it is a
+          // du-opaque serialization.
+          verdict_ = Verdict::kYes;
+          ++stats_.fast_yes;
+        } else {
+          run_full_check(s.num_objects, s.max_txn_id, s.index);
+          if (latched()) return consumed;  // discard the rest of the batch
+        }
+        break;
+      }
+      default: {
+        for (const Op& op : s.ops) {
+          switch (op.kind) {
+            case Op::Kind::kLink:
+              link(op.a, op.b);
+              break;
+            case Op::Kind::kUnlink:
+              unlink(op.a, op.b);
+              break;
+            case Op::Kind::kAntidepIn:
+              if (op.delta > 0)
+                ++txns_[op.a].antidep_in;
+              else
+                --txns_[op.a].antidep_in;
+              break;
+          }
+        }
+        stats_.chain_splices += s.splices;
+        break;
+      }
+    }
+  }
+  return consumed;
+}
+
 // ---------------------------------------------------------------------------
 // Settled-prefix garbage collection. A retired transaction's graph node is
 // dropped wholesale, so retirement is sound exactly when nothing retained or
 // future can name the transaction again — see the settlement rule in
 // monitor.hpp and the full argument in docs/service.md. Passes run only
-// while the fast path is live (no parked edges, unique-writes class, not
-// latched), so every retained non-initial read is resolved and the graph is
-// exactly the Tier-A constraint set.
+// between batches while the fast path is live (no parked edges,
+// unique-writes class, not latched), so every retained non-initial read is
+// resolved, the graph is exactly the Tier-A constraint set, and the
+// coordinator owns all shard state.
 
 std::size_t OnlineMonitor::live_horizon() {
   // Entries are lazily pruned: finished entries, and entries whose slot was
@@ -530,14 +829,14 @@ bool OnlineMonitor::txn_settled(std::size_t tix, std::size_t horizon) const {
   if (t.status == TxnStatus::kCommitted) {
     for (const auto& [x, v] : t.final_writes) {
       (void)v;
-      const auto oit = objs_.find(x);
-      DUO_ASSERT(oit != objs_.end());
-      const ObjState& s = oit->second;
+      const auto oit = shards_[shard_of(x)].objs.find(x);
+      DUO_ASSERT(oit != shards_[shard_of(x)].objs.end());
+      const ObjShard& os = oit->second;
       // Another transaction's initial-value read keeps an edge to every
       // chain member, including this one; it drains when the reader
       // retires. The transaction's own initial read retires with it.
-      for (const std::size_t rid : s.initial_reads)
-        if (reads_[rid].reader != tix) return false;
+      for (const InitialRead& ir : os.initial_reads)
+        if (ir.reader != tix) return false;
       // Superseded with a two-successor guard installed before the
       // horizon. Any future chain insertion keys at or after the horizon,
       // so it lands strictly after both guards, and the retarget window
@@ -546,10 +845,10 @@ bool OnlineMonitor::txn_settled(std::size_t tix, std::size_t horizon) const {
       // a commit-pending member is unfinished, so its tryC invocation —
       // its install key — is at or after its own start, which is at or
       // after the horizon.
-      const std::size_t pos = chain_pos(s, tix);
-      if (pos + 2 >= s.chain.size()) return false;
-      if (txns_[s.chain[pos + 1]].install_key >= horizon) return false;
-      if (txns_[s.chain[pos + 2]].install_key >= horizon) return false;
+      const std::size_t pos = chain_find(os.chain, t.install_key, tix);
+      if (pos + 2 >= os.chain.size()) return false;
+      if (os.chain[pos + 1].key >= horizon) return false;
+      if (os.chain[pos + 2].key >= horizon) return false;
     }
   }
   return true;
@@ -558,14 +857,18 @@ bool OnlineMonitor::txn_settled(std::size_t tix, std::size_t horizon) const {
 void OnlineMonitor::retire_read(std::size_t rid) {
   Read& r = reads_[rid];
   if (r.is_initial) {
-    auto& ir = objs_.at(r.obj).initial_reads;
-    ir.erase(std::find(ir.begin(), ir.end(), rid));
+    auto& ir = obj_shard(r.obj).initial_reads;
+    const auto it =
+        std::find_if(ir.begin(), ir.end(),
+                     [rid](const InitialRead& e) { return e.rid == rid; });
+    DUO_ASSERT(it != ir.end());
+    ir.erase(it);
     // The reader-before-every-chain-member edges die with the reader's
     // graph node.
   } else if (r.writer == kSealedWriter) {
-    // Sealed at the writer's retirement: already out of reads_of_, and the
-    // writer's rf_reads died with it. Only the sealed-version reference and
-    // the anti-dependency pin on the guard successor remain to release.
+    // Sealed at the writer's retirement: already out of reads_of_ and the
+    // shard's rf lists. Only the sealed-version reference and the
+    // anti-dependency pin on the guard successor remain to release.
     const auto svit = sealed_versions_.find({r.obj, r.value});
     DUO_ASSERT(svit != sealed_versions_.end() && svit->second.refs > 0);
     if (--svit->second.refs == 0) sealed_versions_.erase(svit);
@@ -584,10 +887,18 @@ void OnlineMonitor::retire_read(std::size_t rid) {
       DUO_ASSERT(wt.status == TxnStatus::kCommitted);
       auto& rf = wt.rf_reads;
       rf.erase(std::find(rf.begin(), rf.end(), rid));
+      // Mirror in the shard's per-object projection, which otherwise only
+      // derive tasks maintain.
+      ObjShard& os = obj_shard(r.obj);
+      const auto oit = os.rf.find(r.writer);
+      DUO_ASSERT(oit != os.rf.end());
+      auto& olst = oit->second;
+      olst.erase(std::find(olst.begin(), olst.end(), rid));
+      if (olst.empty()) os.rf.erase(oit);
     }
     if (r.antidep != kNone) --txns_[r.antidep].antidep_in;
   }
-  reads_[rid] = Read{};
+  reads_[rid].reset();
   free_reads_.push_back(rid);
 }
 
@@ -624,17 +935,20 @@ void OnlineMonitor::retire_txn(std::size_t tix) {
       auto& ws = wit->second;
       ws.erase(std::find(ws.begin(), ws.end(), tix));
       if (ws.empty()) writers_of_.erase(wit);
+      ObjShard& os = obj_shard(x);
+      // Drop the shard's resolved-read projection for this writer (the
+      // sealed reads above are exactly its remaining entries). Keyed by
+      // tix, so a stale entry would alias a later reuse of the slot.
+      os.rf.erase(tix);
       // Splice out of the chain without the usual unlink/retarget dance:
       // no retained read targets this member, and its own edges die with
       // the node below. Only the pred -> succ consecutive-writer bridge is
       // added; the path pred -> tix -> succ exists right now, so the
       // insertion cannot close a cycle.
-      ObjState& s = objs_.at(x);
-      const std::size_t pos = chain_pos(s, tix);
-      DUO_ASSERT(pos + 1 < s.chain.size());  // the settlement guard
-      if (pos > 0) link(txns_[s.chain[pos - 1]].node,
-                        txns_[s.chain[pos + 1]].node);
-      s.chain.erase(s.chain.begin() + static_cast<std::ptrdiff_t>(pos));
+      const std::size_t pos = chain_find(os.chain, t.install_key, tix);
+      DUO_ASSERT(pos + 1 < os.chain.size());  // the settlement guard
+      if (pos > 0) link(os.chain[pos - 1].node, os.chain[pos + 1].node);
+      os.chain.erase(os.chain.begin() + static_cast<std::ptrdiff_t>(pos));
     }
   } else {
     DUO_ASSERT(!t.in_chain);
@@ -657,8 +971,8 @@ void OnlineMonitor::retire_txn(std::size_t tix) {
   stats_.edges_removed += graph_.retire_node(t.node);
   tix_of_.erase(t.id);
   ++stats_.retired_txns;
-  txns_[tix] = Txn{};
-  txns_[tix].start_index = kNone;  // poison stale open_txns_ entries
+  t.reset();
+  t.start_index = kNone;  // poison stale open_txns_ entries
   free_txns_.push_back(tix);
 }
 
@@ -675,12 +989,14 @@ void OnlineMonitor::run_gc() {
   // once, and each retirement re-enqueues exactly the transactions it may
   // have unlocked. Read-modify-write chains drain fully in one pass this
   // way, without the quadratic rescan-all-per-generation fixpoint.
+  //
+  // Seeded by slot index (a slot is live iff its start_index is not the
+  // retirement poison), which keeps the sweep order — and therefore every
+  // stat — deterministic now that tix_of_ is an unordered map.
   std::vector<std::size_t> work;
   work.reserve(tix_of_.size());
-  for (const auto& [id, tix] : tix_of_) {
-    (void)id;
-    work.push_back(tix);
-  }
+  for (std::size_t tix = 0; tix < txns_.size(); ++tix)
+    if (txns_[tix].start_index != kNone) work.push_back(tix);
   bool retired_any = false;
   while (!work.empty()) {
     const std::size_t tix = work.back();
@@ -696,8 +1012,8 @@ void OnlineMonitor::run_gc() {
       // Dropping an initial-value read may satisfy the no-other-initial-
       // reads condition for any writer in the object's chain.
       if (r.is_initial)
-        for (const std::size_t member : objs_.at(r.obj).chain)
-          work.push_back(member);
+        for (const ChainEntry& m : obj_shard(r.obj).chain)
+          work.push_back(m.tix);
     }
     retire_txn(tix);
     retired_any = true;
@@ -718,9 +1034,10 @@ void OnlineMonitor::run_gc() {
 // ---------------------------------------------------------------------------
 // The fallback tier
 
-void OnlineMonitor::run_full_check() {
+void OnlineMonitor::run_full_check(ObjId num_objects, TxnId synth_base,
+                                   std::size_t index) {
   ++stats_.full_checks;
-  const History h = history();
+  const History h = history_at(num_objects, synth_base);
   checker::CheckOptions copts;
   copts.node_budget = opts_.node_budget;
   copts.engine = opts_.engine;
@@ -729,10 +1046,11 @@ void OnlineMonitor::run_full_check() {
   if (result.yes()) {
     verdict_ = Verdict::kYes;
   } else if (result.no()) {
-    latch(result.explanation.empty()
-              ? "no serialization satisfies Def. 3 (1)-(3)"
-              : result.explanation,
-          /*by_fast_path=*/false);
+    latch_at(index,
+             result.explanation.empty()
+                 ? "no serialization satisfies Def. 3 (1)-(3)"
+                 : result.explanation,
+             /*by_fast_path=*/false);
   } else {
     verdict_ = Verdict::kUnknown;
   }
@@ -741,101 +1059,55 @@ void OnlineMonitor::run_full_check() {
 // ---------------------------------------------------------------------------
 // The event loop
 
+OnlineMonitor::FeedOutcome OnlineMonitor::feed_batch(const Event* events,
+                                                     std::size_t n) {
+  FeedOutcome out;
+  if (n == 0) return out;
+  slots_used_ = 0;
+  shard_task_count_ = 0;
+  pre_latched_ = false;
+
+  const std::size_t base_total = total_events_;
+  const std::size_t prescanned = prescan(events, n, out.error);
+
+  if (shard_task_count_ > 0) {
+    if (num_shards_ > 1 && shard_task_count_ >= kParallelDeriveThreshold) {
+      if (!gang_) gang_ = std::make_unique<util::WorkerGang>(num_shards_);
+      gang_->run([this](std::size_t s) { derive_shard(s); });
+    } else {
+      // Inline: one in-order pass preserves each shard's task order.
+      for (std::size_t i = 0; i < slots_used_; ++i) {
+        Slot& s = slots_[i];
+        if (is_shard_task(s.kind)) derive_slot(obj_shard(s.obj), s);
+      }
+    }
+  }
+
+  out.consumed = apply_slots(events);
+  if (out.consumed < prescanned) {
+    // A fallback check latched mid-batch: the tail events' slots were
+    // discarded and their events never count as fed. (Their prescan
+    // bookkeeping stands — harmless, since the latch is terminal.)
+    total_events_ = base_total + out.consumed;
+  }
+
+  if (out.consumed > 0 && opts_.gc && !latched() && pending_.empty() &&
+      nonuw_ == 0 && total_events_ >= gc_trigger_)
+    run_gc();
+  removed_this_event_ = false;
+  return out;
+}
+
 util::Result<Verdict> OnlineMonitor::feed(const Event& e) {
   using R = util::Result<Verdict>;
-  if (std::string err = validate(e); !err.empty())
-    return R::error(std::move(err));
-
-  if ((e.op == OpKind::kRead || e.op == OpKind::kWrite) &&
-      e.obj >= num_objects_)
-    num_objects_ = e.obj + 1;
-
-  const bool is_new_txn = !tix_of_.contains(e.txn);
-  const std::size_t k = txn_index(e.txn);  // reads total_events_ (this index)
-  const std::size_t index = total_events_;
-  ++total_events_;
-  events_.push_back(e);
-  ++stats_.events;
-  removed_this_feed_ = false;
-
-  // Latched prefixes stay latched (prefix closure); only the validation
-  // state keeps advancing so malformed suffixes are still diagnosed.
-  const bool frozen = latched();
-  if (!frozen && is_new_txn) on_new_transaction(k);
-
-  Txn& t = txns_[k];
-  if (e.is_invocation()) {
-    t.has_pending = true;
-    t.pending_inv = e;
-    if (e.op == OpKind::kRead) t.objects_read.insert(e.obj);
-    if (e.op == OpKind::kTryCommit) {
-      t.tryc_inv = index;
-      t.status = TxnStatus::kCommitPending;
-      if (!frozen) on_tryc_invoked(k);
-    }
-  } else {
-    const Event inv = t.pending_inv;
-    t.has_pending = false;
-    if (e.aborted || e.op == OpKind::kTryCommit) {
-      t.finished = true;
-      t.complete_index = index;
-    }
-    if (e.aborted) {
-      const bool was_commit_pending = t.status == TxnStatus::kCommitPending;
-      t.status = TxnStatus::kAborted;
-      if (!frozen) {
-        on_aborted(k, was_commit_pending);
-        if (!latched()) on_t_complete(k);
-      }
-    } else {
-      switch (e.op) {
-        case OpKind::kRead:
-          if (!frozen) on_read_response(k, e.obj, e.value, index);
-          break;
-        case OpKind::kWrite: {
-          // Record the final write value. The transaction is necessarily
-          // still running here, so its writes are invisible to every
-          // constraint until its tryC invocation freezes the write set.
-          bool found = false;
-          for (auto& [obj, v] : t.final_writes)
-            if (obj == e.obj) {
-              v = inv.value;
-              found = true;
-            }
-          if (!found) t.final_writes.emplace_back(e.obj, inv.value);
-          break;
-        }
-        case OpKind::kTryCommit:
-          t.status = TxnStatus::kCommitted;
-          if (!frozen) {
-            on_committed(k, index);
-            on_t_complete(k);
-          }
-          break;
-        case OpKind::kTryAbort:
-          DUO_UNREACHABLE("tryA response is always aborted (validated)");
-      }
-    }
-  }
-
-  if (latched()) return R::ok(Verdict::kNo);
-  if (removed_this_feed_ && !pending_.empty()) retry_pending();
-  if (fast_path_ok()) {
-    // The maintained graph is exactly the batch engine's Tier-A constraint
-    // set for this prefix, and it is acyclic (every desired edge is in):
-    // any topological order of it is a du-opaque serialization.
-    verdict_ = Verdict::kYes;
-    ++stats_.fast_yes;
-    if (opts_.gc && total_events_ >= gc_trigger_) run_gc();
-    return R::ok(Verdict::kYes);
-  }
-  run_full_check();
+  FeedOutcome out = feed_batch(&e, 1);
+  if (!out.error.empty()) return R::error(std::move(out.error));
   return R::ok(verdict_);
 }
 
-History OnlineMonitor::history() const {
+History OnlineMonitor::history_at(ObjId num_objects, TxnId synth_base) const {
   if (sealed_versions_.empty())
-    return std::move(History::make(events_, num_objects_)).value_or_die();
+    return std::move(History::make(events_, num_objects)).value_or_die();
   // Retained reads may still be resolved to versions whose writers were
   // retired (sealed). Re-materialize each such version as one synthetic
   // committed writer prepended before the retained suffix, in install-rank
@@ -849,7 +1121,7 @@ History OnlineMonitor::history() const {
   std::sort(versions.begin(), versions.end());
   std::vector<Event> with_preamble;
   with_preamble.reserve(4 * versions.size() + events_.size());
-  TxnId synth = max_txn_id_seen_;
+  TxnId synth = synth_base;
   for (const auto& [rank, x, v] : versions) {
     (void)rank;
     ++synth;
@@ -859,7 +1131,11 @@ History OnlineMonitor::history() const {
     with_preamble.push_back(Event::resp_commit(synth));
   }
   with_preamble.insert(with_preamble.end(), events_.begin(), events_.end());
-  return std::move(History::make(with_preamble, num_objects_)).value_or_die();
+  return std::move(History::make(with_preamble, num_objects)).value_or_die();
+}
+
+History OnlineMonitor::history() const {
+  return history_at(num_objects_, max_txn_id_seen_);
 }
 
 std::optional<std::size_t> first_violation_index(

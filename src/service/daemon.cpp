@@ -184,8 +184,13 @@ std::string format_stats_line(const PipelineSnapshot& snap,
        << ",\"nonuw_debt\":" << snap.nonuw_debt               //
        << ",\"gc_passes\":" << snap.gc_passes                 //
        << ",\"sealed_reads\":" << snap.sealed_reads           //
-       << ",\"full_checks\":" << snap.full_checks             //
-       << ",\"vm_hwm_kb\":" << hwm_kb << "}";
+       << ",\"full_checks\":" << snap.full_checks;
+    // 0 means /proc/self/status was unavailable (non-Linux or a restricted
+    // sandbox), not a zero-byte peak; the key is omitted rather than
+    // reporting a misleading measurement (see the schema table in
+    // docs/service.md).
+    if (hwm_kb != 0) ss << ",\"vm_hwm_kb\":" << hwm_kb;
+    ss << "}";
   } else {
     ss << "events=" << snap.events << " ev/s="
        << static_cast<std::uint64_t>(events_per_sec)
@@ -195,7 +200,8 @@ std::string format_stats_line(const PipelineSnapshot& snap,
        << " retained=" << snap.retained_events
        << " nodes=" << snap.graph_nodes << " edges=" << snap.graph_edges
        << " pending=" << snap.pending_edges << " nonuw=" << snap.nonuw_debt
-       << " gc=" << snap.gc_passes << " hwm_kb=" << hwm_kb;
+       << " gc=" << snap.gc_passes;
+    if (hwm_kb != 0) ss << " hwm_kb=" << hwm_kb;
   }
   return ss.str();
 }

@@ -79,17 +79,17 @@ void IngestPipeline::apply(const history::ParsedEvents& pe) {
                 /*is_error=*/true);
     return;
   }
-  for (const auto& e : pe.events) {
-    const auto fed = monitor_.feed(e);
-    if (!fed.has_value()) {
-      stop_locked("malformed event stream: " + fed.error(),
-                  /*is_error=*/true);
-      return;
-    }
-    if (fed.value() == Verdict::kNo) {
-      stop_locked(std::string(), /*is_error=*/false);
-      return;
-    }
+  // One sharded feed_batch per parsed chunk: prescan once, derive
+  // per-object work across the monitor's shards, apply serially. Verdicts
+  // and first-violation indices are identical to per-event feeding.
+  const auto out = monitor_.feed_batch(pe.events.data(), pe.events.size());
+  if (!out.error.empty()) {
+    stop_locked("malformed event stream: " + out.error, /*is_error=*/true);
+    return;
+  }
+  if (monitor_.verdict() == Verdict::kNo) {
+    stop_locked(std::string(), /*is_error=*/false);
+    return;
   }
 }
 

@@ -1,0 +1,36 @@
+// Hash helpers for unordered containers keyed by small composites.
+//
+// The standard library ships no std::hash<std::pair<...>>, which pushes
+// callers toward std::map for pair keys — an O(log n) tree walk on lookups
+// that sit on the monitor's per-event hot path. PairHash mixes the two
+// member hashes with a Fibonacci/avalanche step so (obj, value) keys whose
+// members are small dense integers still spread across buckets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace duo::util {
+
+/// Mixes `v` into `seed`. The constant is the 64-bit golden ratio; the
+/// xor-shift pre-step avalanches low-entropy inputs (sequential ids) before
+/// combination, which is what keeps pair keys like (object, value) from
+/// colliding systematically.
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) noexcept {
+  v ^= v >> 33;
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 29;
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash functor for std::pair keys in unordered containers.
+struct PairHash {
+  template <class A, class B>
+  std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    return hash_combine(std::hash<A>{}(p.first), std::hash<B>{}(p.second));
+  }
+};
+
+}  // namespace duo::util

@@ -16,6 +16,7 @@
 #include "gen/generator.hpp"
 #include "history/printer.hpp"
 #include "stm/registry.hpp"
+#include "util/threading.hpp"
 
 namespace {
 
@@ -391,7 +392,7 @@ TEST_F(DuoCheckCli, FollowModeReportsTruncationAsInconclusive) {
   // Truncating the file mid-follow makes everything past the consumed
   // prefix unknowable: the run must end inconclusive (2), not clean.
   const auto trace = write_trace("trunc.txt", "W1(X0,1)\nC1\n");
-  std::thread truncator([&] {
+  duo::util::ScopedThread truncator([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     std::ofstream(trace, std::ios::trunc) << "W1(";
   });

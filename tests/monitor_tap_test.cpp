@@ -16,6 +16,7 @@
 #include "stm/registry.hpp"
 #include "stm/tl2.hpp"
 #include "stm/workload.hpp"
+#include "util/threading.hpp"
 
 namespace duo::monitor {
 namespace {
@@ -36,7 +37,7 @@ TapRun run_with_tap(stm::Stm& s, stm::Recorder& rec,
   OnlineMonitor mon;
   RecorderTap tap(rec, mon);
   std::atomic<bool> done{false};
-  std::thread workload([&] {
+  util::ScopedThread workload([&] {
     stm::run_random_mix(s, wopts);
     done.store(true, std::memory_order_release);
   });

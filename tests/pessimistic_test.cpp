@@ -26,14 +26,14 @@ TEST(Pessimistic, ReadFromNotYetCommittingWriterViolatesDu) {
   PessimisticStm stm(1, &rec);
   Rendezvous rv;
 
-  std::thread writer([&] {
+  util::ScopedThread writer([&] {
     auto tx = stm.begin();
     ASSERT_TRUE(tx->write(0, 7));  // in place, before tryC
     rv.signal(1);
     rv.await(2);
     ASSERT_TRUE(tx->commit());
   });
-  std::thread reader([&] {
+  util::ScopedThread reader([&] {
     rv.await(1);
     auto tx = stm.begin();
     const auto v = tx->read(0);
@@ -60,7 +60,7 @@ TEST(Pessimistic, TornSnapshotViolatesFinalStateOpacity) {
   PessimisticStm stm(2, &rec);
   Rendezvous rv;
 
-  std::thread writer([&] {
+  util::ScopedThread writer([&] {
     auto tx = stm.begin();
     ASSERT_TRUE(tx->write(0, 1));  // X updated in place
     rv.signal(1);
@@ -69,7 +69,7 @@ TEST(Pessimistic, TornSnapshotViolatesFinalStateOpacity) {
     ASSERT_TRUE(tx->commit());
     rv.signal(3);
   });
-  std::thread reader([&] {
+  util::ScopedThread reader([&] {
     rv.await(1);
     auto tx = stm.begin();
     const auto y = tx->read(1);
@@ -115,7 +115,7 @@ TEST(Pessimistic, RepeatedStagedOverlapsAlwaysViolateDu) {
     Rendezvous rv;
     const Value value = 100 + round;
 
-    std::thread writer([&] {
+    util::ScopedThread writer([&] {
       auto tx = stm.begin();
       ASSERT_TRUE(tx->write(round % 2, value));
       rv.signal(1);
@@ -123,7 +123,7 @@ TEST(Pessimistic, RepeatedStagedOverlapsAlwaysViolateDu) {
       ASSERT_TRUE(tx->write((round + 1) % 2, value + 1));
       ASSERT_TRUE(tx->commit());
     });
-    std::thread reader([&] {
+    util::ScopedThread reader([&] {
       rv.await(1);
       auto tx = stm.begin();
       const auto v = tx->read(round % 2);

@@ -65,12 +65,12 @@ TEST(Recorder, CrossThreadHappensBeforeRespected) {
   // (synchronized through an atomic flag), A's event must come first.
   Recorder rec(4);
   std::atomic<bool> ready{false};
-  std::thread a([&] {
+  util::ScopedThread a([&] {
     rec.record(Event::inv_tryc(1));
     rec.record(Event::resp_commit(1));
     ready.store(true, std::memory_order_release);
   });
-  std::thread b([&] {
+  util::ScopedThread b([&] {
     while (!ready.load(std::memory_order_acquire)) {
     }
     rec.record(Event::inv_tryc(2));

@@ -12,6 +12,7 @@
 //   - run_daemon: end-to-end over real files, including the inconclusive
 //     verdict on rotation and the stats line format.
 #include <gtest/gtest.h>
+#include <pthread.h>
 
 #include <atomic>
 #include <csignal>
@@ -31,6 +32,7 @@
 #include "service/daemon.hpp"
 #include "service/pipeline.hpp"
 #include "util/rng.hpp"
+#include "util/threading.hpp"
 
 namespace duo::service {
 namespace {
@@ -66,11 +68,12 @@ std::vector<std::string> chunk_tokens(const std::string& text,
 void expect_pipeline_matches_monitor(const history::History& h,
                                      std::size_t workers,
                                      std::size_t tokens_per_chunk,
-                                     const std::string& label) {
+                                     const std::string& label,
+                                     std::size_t shards = 1) {
   monitor::MonitorOptions mopts;
   mopts.gc = true;
   mopts.gc_retain_events = 64;
-  monitor::OnlineMonitor ref(mopts);
+  monitor::OnlineMonitor ref(mopts);  // reference stays serial per-event
   for (const auto& e : h.events()) {
     const auto fed = ref.feed(e);
     ASSERT_TRUE(fed.has_value()) << label;
@@ -81,6 +84,7 @@ void expect_pipeline_matches_monitor(const history::History& h,
   popts.workers = workers;
   popts.ring_capacity = 8;  // small: exercises producer back-pressure
   popts.monitor = mopts;
+  popts.monitor.shards = shards;
   IngestPipeline pipeline(popts);
   for (auto& chunk : chunk_tokens(history::compact(h), tokens_per_chunk)) {
     if (!pipeline.submit(std::move(chunk))) break;  // latched early: fine
@@ -106,6 +110,29 @@ TEST(IngestPipeline, MatchesSingleThreadedMonitorAcrossWorkerCounts) {
         label << "history " << i << " workers=" << workers
               << " per_chunk=" << per_chunk;
         expect_pipeline_matches_monitor(h, workers, per_chunk, label.str());
+      }
+    }
+  }
+}
+
+TEST(IngestPipeline, MatchesSingleThreadedMonitorAcrossShardCounts) {
+  // The parse-worker sweep above holds chunking invariance; this one holds
+  // the monitor-internal shard sweep through the whole service stack
+  // (chunks reach the monitor via feed_batch, one batch per parsed chunk).
+  util::Xoshiro256 rng(19);
+  gen::GenOptions opts;
+  opts.num_txns = 10;
+  opts.num_objects = 3;
+  for (int i = 0; i < 15; ++i) {
+    const history::History h = i % 2 == 0 ? gen::random_du_history(opts, rng)
+                                          : gen::random_history(opts, rng);
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      for (const std::size_t per_chunk : {3u, 64u}) {
+        std::ostringstream label;
+        label << "history " << i << " shards=" << shards
+              << " per_chunk=" << per_chunk;
+        expect_pipeline_matches_monitor(h, /*workers=*/2, per_chunk,
+                                        label.str(), shards);
       }
     }
   }
@@ -285,6 +312,10 @@ TEST_F(ServiceFiles, FollowReaderDetectsRotation) {
 }
 
 TEST_F(ServiceFiles, FollowReaderHonorsTheStopFlag) {
+  // The stop flag's contract is a signal handler running ON the polling
+  // thread (sig_atomic_t is only async-signal-safe, not cross-thread), so
+  // the helper thread must deliver a real signal to this thread rather
+  // than write the flag itself — writing it directly would be a data race.
   static volatile std::sig_atomic_t stop = 0;
   stop = 0;
   const std::string path = write_file("t.txt", "W1(X0,1) C1 ");
@@ -294,12 +325,16 @@ TEST_F(ServiceFiles, FollowReaderHonorsTheStopFlag) {
   FollowReader reader(path, fopts);
   std::string out;
   ASSERT_EQ(reader.poll(out), FollowStatus::kData);
-  std::thread flipper([&] {
+  const auto prev = std::signal(SIGUSR1, [](int) { stop = 1; });
+  ASSERT_NE(prev, SIG_ERR);
+  const pthread_t poller = pthread_self();
+  util::ScopedThread flipper([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    stop = 1;
+    pthread_kill(poller, SIGUSR1);
   });
   EXPECT_EQ(reader.poll(out), FollowStatus::kStopped);
   flipper.join();
+  std::signal(SIGUSR1, prev);
 }
 
 TEST_F(ServiceFiles, DaemonVerifiesAGrowingTraceEndToEnd) {
@@ -314,7 +349,7 @@ TEST_F(ServiceFiles, DaemonVerifiesAGrowingTraceEndToEnd) {
       history::compact(gen::random_du_history(gopts, rng));
   const std::string path = write_file("grow.txt", "");
 
-  std::thread writer([&] {
+  util::ScopedThread writer([&] {
     std::ofstream out(path, std::ios::app);
     for (const auto& chunk : chunk_tokens(text, 8)) {
       out << chunk << std::flush;
@@ -365,7 +400,7 @@ TEST_F(ServiceFiles, DaemonReportsRotationAsInconclusive) {
   dopts.follow.idle_ms = 2000;
   dopts.stats_interval_ms = 0;
 
-  std::thread rotator([&] {
+  util::ScopedThread rotator([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     fs::rename(path, dir_ / "rot.txt.1");
     std::ofstream(path) << "W2(X0,2) C2 ";
@@ -403,6 +438,19 @@ TEST(ServiceStats, StatsLineCarriesTheSchema) {
   const std::string text = format_stats_line(snap, 2500.0, 4321, false);
   EXPECT_NE(text.find("events=1200"), std::string::npos) << text;
   EXPECT_NE(text.find("hwm_kb=4321"), std::string::npos) << text;
+}
+
+TEST(ServiceStats, StatsLineOmitsUnavailablePeakRss) {
+  // hwm_kb == 0 means /proc/self/status was unreadable, not a zero-byte
+  // peak: the key must be absent (in both formats) rather than reporting a
+  // misleading measurement, and the JSON must stay well-formed.
+  PipelineSnapshot snap;
+  snap.events = 5;
+  const std::string json = format_stats_line(snap, 0.0, 0, true);
+  EXPECT_EQ(json.find("vm_hwm_kb"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"full_checks\":0}"), std::string::npos) << json;
+  const std::string text = format_stats_line(snap, 0.0, 0, false);
+  EXPECT_EQ(text.find("hwm_kb"), std::string::npos) << text;
 }
 
 TEST(ServiceStats, VmHwmIsAvailableOnLinux) {

@@ -260,7 +260,7 @@ TEST(Mutex, TryLockReportsHeldState) {
   mu.lock();
   std::atomic<bool> acquired{true};
   // try_lock from *another* thread: self-try_lock on a held std::mutex is UB.
-  std::thread probe([&] {
+  ScopedThread probe([&] {
     if (mu.try_lock()) {
       mu.unlock();
     } else {
@@ -280,7 +280,7 @@ TEST(CondVar, WaitReleasesAndReacquires) {
   Mutex mu;
   CondVar cv;
   bool ready = false;  // guarded by mu (locals can't carry GUARDED_BY)
-  std::thread waiter([&] {
+  ScopedThread waiter([&] {
     MutexLock lock(mu);
     while (!ready) cv.wait(mu);
     // Holding mu again here: writing `ready` back is race-free.
@@ -344,6 +344,56 @@ TEST(SpinBarrier, ReusableAcrossGenerations) {
     }
   });
   for (const auto& r : rounds_done) EXPECT_EQ(r.load(), kRounds);
+}
+
+TEST(ScopedThread, JoinsOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ScopedThread t([&] { ran.store(1); });
+    EXPECT_TRUE(t.joinable());
+  }  // destructor joins; no terminate, and the body has completed
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ScopedThread, ExplicitJoinAndMove) {
+  std::atomic<int> ran{0};
+  ScopedThread t([&] { ran.fetch_add(1); });
+  ScopedThread moved = std::move(t);
+  EXPECT_FALSE(t.joinable());
+  moved.join();
+  EXPECT_FALSE(moved.joinable());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerGang, RunsEveryPartyPerDispatch) {
+  constexpr std::size_t kParties = 4;
+  WorkerGang gang(kParties);
+  EXPECT_EQ(gang.parties(), kParties);
+  std::vector<std::atomic<std::uint64_t>> hits(kParties);
+  for (auto& h : hits) h.store(0);
+  for (int round = 0; round < 100; ++round) {
+    const std::function<void(std::size_t)> job = [&](std::size_t i) {
+      hits[i].fetch_add(1);
+    };
+    gang.run(job);
+    // run() is a barrier: every party has finished the round's job before
+    // it returns, so the counts are exact, not eventual.
+    for (const auto& h : hits)
+      ASSERT_EQ(h.load(), static_cast<std::uint64_t>(round + 1));
+  }
+}
+
+TEST(WorkerGang, PartiesSeeDistinctIndices) {
+  constexpr std::size_t kParties = 3;
+  WorkerGang gang(kParties);
+  std::vector<std::atomic<int>> seen(kParties);
+  for (auto& s : seen) s.store(0);
+  const std::function<void(std::size_t)> job = [&](std::size_t i) {
+    ASSERT_LT(i, kParties);
+    seen[i].fetch_add(1);
+  };
+  gang.run(job);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
 }
 
 }  // namespace

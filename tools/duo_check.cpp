@@ -65,6 +65,11 @@
 //                     sharded ingest pipeline with monitor GC on, stats to
 //                     stderr, final verdict flushed on SIGINT/SIGTERM or
 //                     the idle cutoff (see src/service/daemon.hpp)
+//   --shards N        monitor object shards for --stream/--serve (default
+//                     1; 0 = one per hardware thread); verdicts are
+//                     identical for every value
+//   --max-chunk B     with --serve: largest chunk one follow poll hands
+//                     the pipeline, in bytes (default 262144; must be >= 1)
 //   --list-stms       print the STM backend registry (name, update policy,
 //                     rollback capability, declared du-opacity expectation)
 //                     and exit
@@ -130,6 +135,11 @@ struct Options {
   // Service mode (--serve): the duo_mond daemon loop in-process — follow
   // the file through the sharded ingest pipeline with monitor GC on.
   bool serve = false;
+  // Monitor object shards for --stream/--serve (1 = serial derive,
+  // 0 = one per hardware thread). Verdicts are identical for every value.
+  std::size_t shards = 1;
+  // --serve follow-chunk cap in bytes; 0 = FollowOptions' default.
+  std::size_t max_chunk_bytes = 0;
 };
 
 void print_usage(std::FILE* out) {
@@ -138,8 +148,9 @@ void print_usage(std::FILE* out) {
                "[--engine auto|graph|dfs] [--explain-engine] [-v] "
                "<trace-file|directory|->...\n"
                "       duo_check --stream [--follow] [--idle-ms N] "
-               "<trace-file|->\n"
+               "[--shards N] <trace-file|->\n"
                "       duo_check --serve [--jobs N] [--idle-ms N] "
+               "[--shards N] [--max-chunk BYTES] "
                "<trace-file>   (duo_mond in-process; --idle-ms 0 follows "
                "forever)\n"
                "       duo_check --list-stms\n"
@@ -375,15 +386,16 @@ bool parse_args(int argc, char** argv, Options& opts) {
       continue;
     }
     if (arg == "--jobs" || arg == "-j" || arg == "--budget" ||
-        arg == "--idle-ms") {
+        arg == "--idle-ms" || arg == "--shards" || arg == "--max-chunk") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "duo_check: %s requires a value\n", arg.c_str());
         return false;
       }
       std::uint64_t value = 0;
-      // 0 is meaningful for --idle-ms only: follow/serve forever.
+      // 0 is meaningful for --idle-ms (follow/serve forever) and --shards
+      // (one shard per hardware thread) only.
       if (!parse_count(argv[++i], value) ||
-          (value == 0 && arg != "--idle-ms")) {
+          (value == 0 && arg != "--idle-ms" && arg != "--shards")) {
         std::fprintf(stderr, "duo_check: bad %s value: %s\n", arg.c_str(),
                      argv[i]);
         return false;
@@ -392,6 +404,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
         opts.node_budget = value;
       } else if (arg == "--idle-ms") {
         opts.idle_ms = value;
+      } else if (arg == "--shards") {
+        opts.shards = static_cast<std::size_t>(value);
+      } else if (arg == "--max-chunk") {
+        opts.max_chunk_bytes = static_cast<std::size_t>(value);
       } else {
         opts.jobs = static_cast<std::size_t>(value);
       }
@@ -405,6 +421,14 @@ bool parse_args(int argc, char** argv, Options& opts) {
   }
   if (raw_inputs.empty()) {
     print_usage(stderr);
+    return false;
+  }
+  if (opts.max_chunk_bytes != 0 && !opts.serve) {
+    std::fprintf(stderr, "duo_check: --max-chunk requires --serve\n");
+    return false;
+  }
+  if (opts.shards != 1 && !opts.serve && !opts.stream) {
+    std::fprintf(stderr, "duo_check: --shards requires --stream or --serve\n");
     return false;
   }
   if (opts.serve) {
@@ -476,6 +500,7 @@ int check_stream(const Options& opts) {
   duo::monitor::MonitorOptions mopts;
   mopts.node_budget = opts.node_budget;
   mopts.engine = opts.engine;
+  mopts.shards = opts.shards;
   duo::monitor::OnlineMonitor mon(mopts);
 
   // `objects=N` declarations are honored across lines exactly like the
@@ -500,23 +525,26 @@ int check_stream(const Options& opts) {
                    "duo_check: objects= declares fewer objects than used\n");
       return 1;
     }
-    for (const auto& e : parsed.value().events) {
-      const auto fed = mon.feed(e);
-      if (!fed.has_value()) {
-        std::fprintf(stderr, "duo_check: malformed event stream: %s\n",
-                     fed.error().c_str());
-        return 1;
-      }
-      if (fed.value() == Verdict::kNo) {
-        // first_violation() is a 0-based index; event numbering in human
-        // output is 1-based (the monitor and the batch first_bad_prefix
-        // query share the 0-based convention).
-        std::printf("VIOLATION at event %zu (%s): %s\n",
-                    *mon.first_violation() + 1,
-                    duo::history::to_string(e).c_str(),
-                    mon.explanation().c_str());
-        return 2;
-      }
+    // Whole chunks go through the sharded batch path (prescan -> parallel
+    // per-object derive -> serial graph apply); verdicts and violation
+    // indices are identical to per-event feeding.
+    const auto& events = parsed.value().events;
+    const auto fed = mon.feed_batch(events.data(), events.size());
+    if (!fed.error.empty()) {
+      std::fprintf(stderr, "duo_check: malformed event stream: %s\n",
+                   fed.error.c_str());
+      return 1;
+    }
+    if (mon.verdict() == Verdict::kNo) {
+      // first_violation() is a 0-based index; event numbering in human
+      // output is 1-based (the monitor and the batch first_bad_prefix
+      // query share the 0-based convention). The latching event is the
+      // last one the batch consumed.
+      std::printf("VIOLATION at event %zu (%s): %s\n",
+                  *mon.first_violation() + 1,
+                  duo::history::to_string(events[fed.consumed - 1]).c_str(),
+                  mon.explanation().c_str());
+      return 2;
     }
     return 0;
   };
@@ -602,10 +630,13 @@ int check_serve(const Options& opts) {
   dopts.trace_path = opts.inputs[0];
   dopts.follow.idle_ms = opts.idle_ms;
   dopts.follow.stop = &g_stop;
+  if (opts.max_chunk_bytes != 0)
+    dopts.follow.max_chunk_bytes = opts.max_chunk_bytes;
   dopts.pipeline.workers = opts.jobs;
   dopts.pipeline.monitor.gc = true;
   dopts.pipeline.monitor.node_budget = opts.node_budget;
   dopts.pipeline.monitor.engine = opts.engine;
+  dopts.pipeline.monitor.shards = opts.shards;
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
   return duo::service::run_daemon(dopts).exit_code;

@@ -22,11 +22,17 @@
 //     stands, by prefix closure — Corollary 2).
 //
 // Usage:
-//   duo_mond trace.txt [--workers N] [--gc-retain N] [--no-gc]
+//   duo_mond trace.txt [--workers N] [--shards N] [--gc-retain N] [--no-gc]
 //            [--stats-interval-ms N] [--json] [--idle-ms N] [--budget N]
+//            [--max-chunk BYTES]
 //
 //   --idle-ms N   exit once the file stops growing for N ms (0 = follow
 //                 forever; the default, this being a daemon)
+//   --shards N    monitor object shards for the parallel derive phase
+//                 (default 1; 0 = one per hardware thread). Verdicts are
+//                 identical for every value.
+//   --max-chunk B largest chunk one follow poll hands the pipeline, in
+//                 bytes (default 262144; must be >= 1)
 //
 // Exit code: 0 du-opaque (clean end), 2 violation or inconclusive, 1 on
 // usage/input errors.
@@ -46,9 +52,9 @@ void handle_stop(int) { g_stop = 1; }
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: duo_mond <trace-file> [--workers N] [--gc-retain N] "
-               "[--no-gc] [--stats-interval-ms N] [--json] [--idle-ms N] "
-               "[--budget N]\n"
+               "usage: duo_mond <trace-file> [--workers N] [--shards N] "
+               "[--gc-retain N] [--no-gc] [--stats-interval-ms N] [--json] "
+               "[--idle-ms N] [--budget N] [--max-chunk BYTES]\n"
                "tails a growing trace and maintains the du-opacity verdict "
                "with bounded memory\n");
 }
@@ -83,9 +89,9 @@ int main(int argc, char** argv) {
       opts.pipeline.monitor.gc = false;
       continue;
     }
-    if (arg == "--workers" || arg == "--gc-retain" ||
+    if (arg == "--workers" || arg == "--shards" || arg == "--gc-retain" ||
         arg == "--stats-interval-ms" || arg == "--idle-ms" ||
-        arg == "--budget") {
+        arg == "--budget" || arg == "--max-chunk") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "duo_mond: %s requires a value\n", arg.c_str());
         return 1;
@@ -98,6 +104,14 @@ int main(int argc, char** argv) {
       }
       if (arg == "--workers") {
         opts.pipeline.workers = static_cast<std::size_t>(value);
+      } else if (arg == "--shards") {
+        opts.pipeline.monitor.shards = static_cast<std::size_t>(value);
+      } else if (arg == "--max-chunk") {
+        if (value == 0) {
+          std::fprintf(stderr, "duo_mond: --max-chunk must be >= 1\n");
+          return 1;
+        }
+        opts.follow.max_chunk_bytes = static_cast<std::size_t>(value);
       } else if (arg == "--gc-retain") {
         opts.pipeline.monitor.gc_retain_events =
             static_cast<std::size_t>(value);

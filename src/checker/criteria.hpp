@@ -30,7 +30,7 @@ const std::vector<Criterion>& all_criteria();
 
 /// Tri-state verdict: budget exhaustion is reported, never silently turned
 /// into a verdict.
-enum class Verdict : std::uint8_t { kYes, kNo, kUnknown };
+enum class [[nodiscard]] Verdict : std::uint8_t { kYes, kNo, kUnknown };
 
 std::string to_string(Verdict v);
 
@@ -75,7 +75,7 @@ struct EngineTrace {
   std::uint64_t graph_edges = 0;  // graph engine only: edge count
 };
 
-struct CheckResult {
+struct [[nodiscard]] CheckResult {
   Verdict verdict = Verdict::kUnknown;
   /// Witness serialization (present when verdict == kYes and the criterion
   /// is serialization-based on the full history).

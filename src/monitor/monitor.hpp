@@ -229,7 +229,7 @@ class OnlineMonitor {
   /// it. A malformed event (one History::make would reject) yields an error
   /// and is discarded; the monitor remains usable. Exactly
   /// feed_batch(&e, 1).
-  util::Result<Verdict> feed(const Event& e);
+  [[nodiscard]] util::Result<Verdict> feed(const Event& e);
 
   /// Outcome of feed_batch. `consumed` is the number of leading events
   /// incorporated into the monitor (including a latching event); with a
@@ -237,7 +237,7 @@ class OnlineMonitor {
   /// stopped before it (earlier events were fed normally). After a kNo
   /// latch the remainder of the batch is not consumed — prefix closure
   /// already covers it, and callers should stop feeding.
-  struct FeedOutcome {
+  struct [[nodiscard]] FeedOutcome {
     std::size_t consumed = 0;
     std::string error;
   };

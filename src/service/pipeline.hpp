@@ -136,6 +136,8 @@ class IngestPipeline {
   void stop_locked(std::string why, bool is_error) DUO_REQUIRES(apply_mutex_);
   std::size_t in_flight_locked() const DUO_REQUIRES(queue_mutex_);
 
+  // unguarded: set in the constructor, read-only afterwards; every
+  // thread is created after the constructor returns
   PipelineOptions opts_;
 
   // -- chunk queue (producers -> workers) + reorder ring (workers ->
@@ -161,10 +163,13 @@ class IngestPipeline {
   std::string diagnostic_ DUO_GUARDED_BY(apply_mutex_);
   std::size_t chunks_applied_ DUO_GUARDED_BY(apply_mutex_) = 0;
 
-  std::vector<std::thread> workers_;
-  std::thread applier_;
-  bool finished_ = false;       // finish() ran (main thread only)
-  PipelineResult result_;       // valid once finished_
+  // Thread handles and finish() state are touched only by the owning
+  // (main) thread — created in the constructor, joined in finish(); the
+  // workers never see these members.
+  std::vector<std::thread> workers_;  // unguarded: owning thread only
+  std::thread applier_;               // unguarded: owning thread only
+  bool finished_ = false;             // unguarded: owning thread only
+  PipelineResult result_;             // unguarded: valid once finished_
 };
 
 }  // namespace duo::service

@@ -159,12 +159,14 @@ NorecStm::NorecStm(ObjId num_objects, Recorder* recorder)
       recorder_(recorder),
       values_(static_cast<std::size_t>(num_objects)) {
   DUO_EXPECTS(num_objects >= 1);
+  // relaxed: ctor-prepublish
   for (auto& v : values_) v.store(0, std::memory_order_relaxed);
 }
 
 std::unique_ptr<Transaction> NorecStm::begin() {
-  return std::make_unique<NorecTransaction>(
-      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  // relaxed: txn-id-alloc
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<NorecTransaction>(*this, id);
 }
 
 Value NorecStm::sample_committed(ObjId obj) const {

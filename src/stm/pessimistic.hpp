@@ -51,6 +51,9 @@ class PessimisticStm final : public Stm {
   /// this backend), so it is deliberately *not* GUARDED_BY this mutex.
   util::Mutex writer_mutex_;
   std::atomic<TxnId> next_txn_id_{1};
+  // unguarded: element access is atomic and deliberately lock-free
+  // (see the writer_mutex_ comment above); the vector itself is sized
+  // once in the constructor and never reallocated
   std::vector<std::atomic<Value>> values_;
 };
 

@@ -242,8 +242,9 @@ Tl2Stm::Tl2Stm(ObjId num_objects, Recorder* recorder, Tl2Options options)
 }
 
 std::unique_ptr<Transaction> Tl2Stm::begin() {
-  return std::make_unique<Tl2Transaction>(
-      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  // relaxed: txn-id-alloc
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<Tl2Transaction>(*this, id);
 }
 
 Value Tl2Stm::sample_committed(ObjId obj) const {

@@ -77,6 +77,7 @@ class TmlTransaction final : public Transaction {
       lv_ += 1;
     }
     auto& slot = stm_.values_[static_cast<std::size_t>(obj)];
+    // relaxed: tml-undo-snapshot
     undo_.emplace_back(obj, slot.load(std::memory_order_relaxed));
     slot.store(v, std::memory_order_release);
     scope.respond(Event::resp_write_ok(id_, obj));
@@ -139,12 +140,14 @@ TmlStm::TmlStm(ObjId num_objects, Recorder* recorder)
       recorder_(recorder),
       values_(static_cast<std::size_t>(num_objects)) {
   DUO_EXPECTS(num_objects >= 1);
+  // relaxed: ctor-prepublish
   for (auto& v : values_) v.store(0, std::memory_order_relaxed);
 }
 
 std::unique_ptr<Transaction> TmlStm::begin() {
-  return std::make_unique<TmlTransaction>(
-      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  // relaxed: txn-id-alloc
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<TmlTransaction>(*this, id);
 }
 
 Value TmlStm::sample_committed(ObjId obj) const {

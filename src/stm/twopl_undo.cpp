@@ -68,8 +68,9 @@ class TwoPlUndoTransaction final : public Transaction {
       scope.respond(Event::resp_abort(id_, history::OpKind::kWrite, obj));
       return false;
     }
-    undo_.emplace_back(obj,
-                       slot(obj).value.load(std::memory_order_relaxed));
+    // relaxed: twopl-undo-snapshot
+    const Value prev = slot(obj).value.load(std::memory_order_relaxed);
+    undo_.emplace_back(obj, prev);
     slot(obj).value.store(v, std::memory_order_release);
     if (stm_.options_.faulty_early_lock_release) release_write_lock(obj);
     scope.respond(Event::resp_write_ok(id_, obj));
@@ -209,8 +210,9 @@ TwoPlUndoStm::TwoPlUndoStm(ObjId num_objects, Recorder* recorder,
 }
 
 std::unique_ptr<Transaction> TwoPlUndoStm::begin() {
-  return std::make_unique<TwoPlUndoTransaction>(
-      *this, next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  // relaxed: txn-id-alloc
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<TwoPlUndoTransaction>(*this, id);
 }
 
 Value TwoPlUndoStm::sample_committed(ObjId obj) const {

@@ -112,7 +112,9 @@ WorkloadStats run_random_mix(Stm& stm, const WorkloadOptions& opts) {
             return Step::kCommit;
           },
           opts.max_attempts);
+      // relaxed: workload-counters
       aborted.fetch_add(attempt_aborts, std::memory_order_relaxed);
+      // relaxed: workload-counters
       (ok ? committed : abandoned).fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -147,7 +149,9 @@ WorkloadStats run_counters(Stm& stm, const WorkloadOptions& opts) {
             return Step::kCommit;
           },
           opts.max_attempts);
+      // relaxed: workload-counters
       aborted.fetch_add(attempt_aborts, std::memory_order_relaxed);
+      // relaxed: workload-counters
       (ok ? committed : abandoned).fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -209,9 +213,12 @@ BankStats run_bank(Stm& stm, const WorkloadOptions& opts,
             },
             opts.max_attempts);
         if (ok) {
+          // relaxed: workload-counters
           audits.fetch_add(1, std::memory_order_relaxed);
-          if (seen_total != expected_total)
+          if (seen_total != expected_total) {
+            // relaxed: workload-counters
             broken.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       } else {
         const auto from = static_cast<ObjId>(rng.below(
@@ -240,7 +247,9 @@ BankStats run_bank(Stm& stm, const WorkloadOptions& opts,
             },
             opts.max_attempts);
       }
+      // relaxed: workload-counters
       aborted.fetch_add(attempt_aborts, std::memory_order_relaxed);
+      // relaxed: workload-counters
       (ok ? committed : abandoned).fetch_add(1, std::memory_order_relaxed);
     }
   });

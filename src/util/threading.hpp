@@ -36,6 +36,7 @@ class SpinBarrier {
   void arrive_and_wait() noexcept {
     const std::uint64_t gen = generation_.load(std::memory_order_acquire);
     if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      // relaxed: spinbarrier-reset
       waiting_.store(0, std::memory_order_relaxed);
       generation_.fetch_add(1, std::memory_order_release);
     } else {
@@ -141,6 +142,9 @@ class WorkerGang {
   std::uint64_t generation_ DUO_GUARDED_BY(mutex_) = 0;
   std::size_t running_ DUO_GUARDED_BY(mutex_) = 0;
   bool shutdown_ DUO_GUARDED_BY(mutex_) = false;
+  // unguarded: written only by the constructor and the destructor's
+  // joins, which happen-after every worker exits; workers never touch
+  // the vector itself.
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,12 @@
+// Fixture: both banned randomness sources.
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+
+int draw() {
+  std::random_device rd;
+  return rand() + static_cast<int>(rd());
+}
+
+}  // namespace fx

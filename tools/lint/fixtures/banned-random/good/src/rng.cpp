@@ -1,0 +1,10 @@
+// Fixture: seeded, reproducible randomness only.
+#include "util/rng.hpp"
+
+namespace fx {
+
+unsigned draw(util::SplitMix64& rng) {
+  return static_cast<unsigned>(rng.next());
+}
+
+}  // namespace fx

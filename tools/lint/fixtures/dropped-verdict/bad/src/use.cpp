@@ -1,0 +1,23 @@
+// Fixture: a CheckResult-returning method and a Verdict-returning free
+// function, both called for nothing.
+namespace fx {
+
+enum class Verdict { kYes, kNo };
+
+struct CheckResult {
+  bool ok = false;
+};
+
+class Checker {
+ public:
+  CheckResult run_check();
+};
+
+Verdict judge_history();
+
+void use(Checker& c) {
+  c.run_check();     // dropped CheckResult
+  judge_history();   // dropped Verdict
+}
+
+}  // namespace fx

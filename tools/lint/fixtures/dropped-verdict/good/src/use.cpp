@@ -1,0 +1,29 @@
+// Fixture: verdict-bearing results are consumed, explicitly voided, or
+// come from a name that is ambiguous across the tree (vetoed).
+namespace fx {
+
+struct CheckResult {
+  bool ok = false;
+};
+
+class Checker {
+ public:
+  CheckResult run_check();
+};
+
+struct Gang {
+  void run();  // same bare name elsewhere returns CheckResult: ambiguous
+};
+
+struct Engine {
+  CheckResult run();
+};
+
+bool use(Checker& c, Gang& g) {
+  const auto r = c.run_check();  // consumed
+  (void)c.run_check();           // explicit discard
+  g.run();                       // void; `run` is ambiguous, never flagged
+  return r.ok;
+}
+
+}  // namespace fx

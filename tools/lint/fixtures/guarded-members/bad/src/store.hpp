@@ -1,0 +1,21 @@
+// Fixture: a mutex-owning class with an unannotated, unwaived mutable
+// member — the exact shape a forgotten DUO_GUARDED_BY takes.
+#pragma once
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fx {
+
+class Store {
+ public:
+  void bump();
+
+ private:
+  util::Mutex mutex_;
+  std::uint64_t epoch_ DUO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t forgotten_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Fixture: a mutex-owning class where every mutable non-atomic member is
+// either annotated or explicitly waived; exempt shapes stay silent.
+#pragma once
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fx {
+
+class Store {
+ public:
+  explicit Store(std::size_t n);
+
+ private:
+  util::Mutex mutex_;
+  util::CondVar cv_;                                   // capability: exempt
+  std::uint64_t epoch_ DUO_GUARDED_BY(mutex_) = 0;
+  std::string label_ DUO_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> hits_{0};                 // atomic: exempt
+  const std::size_t capacity_;                         // const: exempt
+  std::vector<int> scratch_;  // unguarded: owning thread only, never shared
+};
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: a classic ABBA deadlock — one path nests b_ under a_, the
+// other nests a_ under b_.
+#include "util/mutex.hpp"
+
+namespace fx {
+
+class Pair {
+ public:
+  void forward() {
+    util::MutexLock la(a_);
+    util::MutexLock lb(b_);
+  }
+
+  void backward() {
+    util::MutexLock lb(b_);
+    util::MutexLock la(a_);
+  }
+
+ private:
+  util::Mutex a_;
+  util::Mutex b_;
+};
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: two locks always taken in the same order (a_ then b_), both by
+// direct nesting and through a DUO_REQUIRES-seeded callee.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fx {
+
+class Pair {
+ public:
+  void both() {
+    util::MutexLock la(a_);
+    util::MutexLock lb(b_);
+  }
+
+  void outer() {
+    util::MutexLock la(a_);
+    inner();
+  }
+
+ private:
+  void inner() DUO_REQUIRES(a_) { util::MutexLock lb(b_); }
+
+  util::Mutex a_;
+  util::Mutex b_;
+};
+
+}  // namespace fx

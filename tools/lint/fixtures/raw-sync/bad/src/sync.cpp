@@ -1,0 +1,11 @@
+// Fixture: a raw std::mutex outside src/util/ — invisible to
+// -Wthread-safety and therefore banned.
+#include <mutex>
+
+namespace fx {
+
+std::mutex mu;
+
+void touch() { std::lock_guard<std::mutex> lock(mu); }
+
+}  // namespace fx

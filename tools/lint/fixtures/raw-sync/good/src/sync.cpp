@@ -1,0 +1,13 @@
+// Fixture: annotated wrappers only; banned tokens appear solely inside
+// literals and comments, which the scrubber must ignore.
+#include "util/mutex.hpp"
+
+namespace fx {
+
+util::Mutex mu;
+// a comment mentioning std::mutex is fine
+const char* kDoc = "so is std::mutex inside a string literal";
+
+void touch() { util::MutexLock lock(mu); }
+
+}  // namespace fx

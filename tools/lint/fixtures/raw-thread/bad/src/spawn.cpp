@@ -1,0 +1,12 @@
+// Fixture: a raw std::thread outside src/util/ and src/service/ — a
+// thrown exception before join() terminates the process.
+#include <thread>
+
+namespace fx {
+
+void work() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace fx

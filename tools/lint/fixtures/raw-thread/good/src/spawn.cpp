@@ -1,0 +1,13 @@
+// Fixture: threads via the join-safe wrappers; std::this_thread is not a
+// thread handle and stays legal everywhere.
+#include <thread>
+
+#include "util/threading.hpp"
+
+namespace fx {
+
+void work() {
+  util::run_threads(2, [](std::size_t) { std::this_thread::yield(); });
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Fixture: three distinct relaxed-proof failures.
+#include <atomic>
+
+namespace fx {
+
+std::atomic<unsigned> hits{0};
+
+void untagged() {
+  hits.fetch_add(1, std::memory_order_relaxed);  // no tag at all
+}
+
+void unknown_tag() {
+  // relaxed: fx-no-such-entry
+  hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fx

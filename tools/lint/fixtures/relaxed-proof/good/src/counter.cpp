@@ -1,0 +1,18 @@
+// Fixture: every relaxed site carries a tag that resolves to a proof
+// entry, and every doc entry has a live site.
+#include <atomic>
+
+namespace fx {
+
+std::atomic<unsigned> hits{0};
+
+void bump() {
+  // relaxed: fx-stat-counter
+  hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned read_after_join() {
+  return hits.load(std::memory_order_relaxed);  // relaxed: fx-stat-counter
+}
+
+}  // namespace fx

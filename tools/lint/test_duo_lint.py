@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint/duo_lint.py.
+
+Every check gets a good/bad fixture pair under tools/lint/fixtures/<check>/:
+the good tree must lint clean, the bad tree must trip exactly the seeded
+violations. A final test runs the full suite over the real repository and
+asserts zero violations — the same gate CTest (lint_selfrun) and the
+duo-lint CI job enforce, so an untagged relaxed site or a stale proof tag
+fails the build here first.
+
+Run directly (python3 tools/lint/test_duo_lint.py) or via CTest
+(lint_fixtures).
+"""
+
+import contextlib
+import io
+import pathlib
+import sys
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+FIXTURES = HERE / "fixtures"
+
+sys.path.insert(0, str(HERE))
+
+import duo_lint  # noqa: E402
+
+
+def run_lint(root, checks, files=()):
+    """Run the CLI entry point; returns (exit_code, stdout_lines)."""
+    out = io.StringIO()
+    argv = ["--root", str(root), "--frontend", "lexical",
+            "--checks", checks, *files]
+    with contextlib.redirect_stdout(out):
+        rc = duo_lint.main(argv)
+    lines = [ln for ln in out.getvalue().splitlines() if ln.strip()]
+    return rc, lines
+
+
+class FixturePairTest(unittest.TestCase):
+    """good tree → clean; bad tree → the seeded violations, no others."""
+
+    def assert_pair(self, check, expect_bad):
+        rc, lines = run_lint(FIXTURES / check / "good", check)
+        self.assertEqual(rc, 0, f"{check}/good not clean:\n" + "\n".join(lines))
+        self.assertEqual(lines, [])
+
+        rc, lines = run_lint(FIXTURES / check / "bad", check)
+        self.assertEqual(rc, 1, f"{check}/bad did not fail")
+        self.assertEqual(
+            len(lines), len(expect_bad),
+            f"{check}/bad: expected {len(expect_bad)} violations:\n"
+            + "\n".join(lines))
+        for needle, line in zip(expect_bad, sorted(lines)):
+            self.assertIn(f"[{check}]", line)
+            self.assertIn(needle, line)
+
+    def test_relaxed_proof(self):
+        self.assert_pair("relaxed-proof", [
+            "stale proof",          # docs/concurrency.md sorts first
+            "fx-no-such-entry",     # src/counter.cpp:14 (lexicographic)
+            "without an adjacent",  # src/counter.cpp:9
+        ])
+
+    def test_guarded_members(self):
+        self.assert_pair("guarded-members", ["Store::forgotten_"])
+
+    def test_lock_order(self):
+        self.assert_pair("lock-order", ["lock-order cycle"])
+
+    def test_dropped_verdict(self):
+        self.assert_pair("dropped-verdict", [
+            "run_check", "judge_history"])
+
+    def test_raw_sync(self):
+        self.assert_pair("raw-sync", [
+            "raw std synchronization", "raw std synchronization"])
+
+    def test_banned_random(self):
+        self.assert_pair("banned-random", [
+            "banned randomness", "banned randomness"])
+
+    def test_raw_thread(self):
+        self.assert_pair("raw-thread", ["raw std::thread"])
+
+
+class LockOrderDetailTest(unittest.TestCase):
+    def test_cycle_names_both_locks_with_provenance(self):
+        rc, lines = run_lint(FIXTURES / "lock-order" / "bad", "lock-order")
+        self.assertEqual(rc, 1)
+        msg = lines[0]
+        self.assertIn("Pair::a_ -> Pair::b_", msg)
+        self.assertIn("Pair::b_ -> Pair::a_", msg)
+        self.assertIn("src/order.cpp", msg)
+
+
+class CliTest(unittest.TestCase):
+    def test_unknown_check_is_infra_error(self):
+        rc, _ = run_lint(REPO, "no-such-check")
+        self.assertEqual(rc, 2)
+
+    def test_list_checks(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = duo_lint.main(["--list-checks"])
+        self.assertEqual(rc, 0)
+        listed = out.getvalue()
+        for c in duo_lint.ALL_CHECKS:
+            self.assertIn(c.name, listed)
+        self.assertEqual(len(duo_lint.ALL_CHECKS), 7)
+
+
+class SelfRunTest(unittest.TestCase):
+    def test_repository_is_clean_under_all_checks(self):
+        rc, lines = run_lint(REPO, "all")
+        self.assertEqual(
+            rc, 0, "duo-lint violations in the tree:\n" + "\n".join(lines))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
